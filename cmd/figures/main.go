@@ -1,0 +1,69 @@
+// Command figures regenerates the tables and figures of the paper's
+// performance study (§7). Each figure prints as a text table with the same
+// axes as the paper's plot: plan cost (seconds) versus update percentage,
+// for Greedy and the NoGreedy baseline.
+//
+// Usage:
+//
+//	figures -fig all          # everything
+//	figures -fig 3a           # one figure: 3a 3b 4a 4b 5a 5b
+//	figures -fig opt          # §7.2 cost of optimization
+//	figures -fig matsplit     # §7.2 temporary vs permanent
+//	figures -fig buffer       # §7.2 effect of buffer size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3a 3b 4a 4b 5a 5b opt matsplit buffer all")
+	flag.Parse()
+
+	series := map[string]func() *bench.Series{
+		"3a": bench.Figure3a, "3b": bench.Figure3b,
+		"4a": bench.Figure4a, "4b": bench.Figure4b,
+		"5a": bench.Figure5a, "5b": bench.Figure5b,
+	}
+	printed := false
+	runSeries := func(name string) {
+		fmt.Println(series[name]().Format())
+		printed = true
+	}
+	switch *fig {
+	case "all":
+		for _, n := range []string{"3a", "3b", "4a", "4b", "5a", "5b"} {
+			runSeries(n)
+		}
+		fmt.Println(bench.OptimizationTime().Format())
+		fmt.Println(bench.TempVsPermanent().Format())
+		fmt.Println(bench.BufferComparison().Format())
+		fmt.Println(bench.Ablation().Format())
+		printed = true
+	case "opt":
+		fmt.Println(bench.OptimizationTime().Format())
+		printed = true
+	case "matsplit":
+		fmt.Println(bench.TempVsPermanent().Format())
+		printed = true
+	case "buffer":
+		fmt.Println(bench.BufferComparison().Format())
+		printed = true
+	case "ablation":
+		fmt.Println(bench.Ablation().Format())
+		printed = true
+	default:
+		if _, ok := series[*fig]; ok {
+			runSeries(*fig)
+		}
+	}
+	if !printed {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

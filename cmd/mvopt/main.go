@@ -1,0 +1,134 @@
+// Command mvopt optimizes the maintenance of a set of materialized views
+// and prints the chosen plan: per-view refresh modes, the extra results and
+// indexes selected for materialization, and the estimated refresh cost.
+//
+// Views come either from a built-in TPC-D workload or from a SQL file
+// containing `CREATE VIEW <name> AS SELECT ... ;` statements over the TPC-D
+// schema.
+//
+// Usage:
+//
+//	mvopt -workload set5            # built-in: join4 agg4 set5 set5agg set10
+//	mvopt -sql views.sql            # user-defined views
+//	mvopt -pct 10                   # update percentage (inserts; deletes half)
+//	mvopt -no-greedy                # baseline only
+//	mvopt -no-indexes               # catalog without PK indexes
+//	mvopt -space 64000000           # space budget in bytes for extras
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/greedy"
+	"repro/internal/tpcd"
+	"repro/internal/viewdef"
+)
+
+func main() {
+	workload := flag.String("workload", "set5", "built-in workload: join4 agg4 set5 set5agg set10")
+	sqlFile := flag.String("sql", "", "SQL file with CREATE VIEW statements (overrides -workload)")
+	pct := flag.Float64("pct", 10, "update percentage")
+	sf := flag.Float64("sf", 0.1, "TPC-D scale factor")
+	noGreedy := flag.Bool("no-greedy", false, "run only the Volcano baseline")
+	noIndexes := flag.Bool("no-indexes", false, "start without primary-key indexes")
+	space := flag.Float64("space", 0, "space budget in bytes for extra materializations (0 = unlimited)")
+	explain := flag.Bool("explain", false, "print EXPLAIN-style plan trees for every view")
+	flag.Parse()
+
+	cat := tpcd.NewCatalog(*sf, !*noIndexes)
+	sys := core.NewSystem(cat, core.Options{})
+
+	var views []tpcd.NamedView
+	if *sqlFile != "" {
+		text, err := os.ReadFile(*sqlFile)
+		if err != nil {
+			fatal("reading %s: %v", *sqlFile, err)
+		}
+		parsed, err := parseCreateViews(cat, string(text))
+		if err != nil {
+			fatal("%v", err)
+		}
+		views = parsed
+	} else {
+		switch *workload {
+		case "join4":
+			views = []tpcd.NamedView{{Name: "join4", Def: tpcd.ViewJoin4(cat)}}
+		case "agg4":
+			views = []tpcd.NamedView{{Name: "agg4", Def: tpcd.ViewAgg4(cat)}}
+		case "set5":
+			views = tpcd.ViewSet5(cat, false)
+		case "set5agg":
+			views = tpcd.ViewSet5(cat, true)
+		case "set10":
+			views = tpcd.ViewSet10(cat)
+		default:
+			fatal("unknown workload %q", *workload)
+		}
+	}
+	for _, v := range views {
+		if _, err := sys.AddView(v.Name, v.Def); err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	u := diff.UniformPercent(cat, tpcd.UpdatedRelations(), *pct)
+	base := sys.OptimizeNoGreedy(u)
+	fmt.Println("=== NoGreedy baseline ===")
+	fmt.Print(base.Report())
+
+	if *explain && *noGreedy {
+		fmt.Println("\n=== plans ===")
+		fmt.Print(base.Explain())
+	}
+	if !*noGreedy {
+		cfg := greedy.DefaultConfig()
+		cfg.SpaceBudget = *space
+		plan := sys.OptimizeGreedy(u, cfg)
+		fmt.Println("\n=== Greedy ===")
+		fmt.Print(plan.Report())
+		if *explain {
+			fmt.Println("\n=== plans ===")
+			fmt.Print(plan.Explain())
+		}
+		fmt.Printf("\nimprovement: %.2fx\n", base.TotalCost/plan.TotalCost)
+	}
+}
+
+// parseCreateViews splits `CREATE VIEW name AS select ;` statements and
+// parses each body with the viewdef parser.
+func parseCreateViews(cat *catalog.Catalog, text string) ([]tpcd.NamedView, error) {
+	var out []tpcd.NamedView
+	for _, stmt := range strings.Split(text, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		fields := strings.Fields(stmt)
+		if len(fields) < 5 || !strings.EqualFold(fields[0], "CREATE") ||
+			!strings.EqualFold(fields[1], "VIEW") || !strings.EqualFold(fields[3], "AS") {
+			return nil, fmt.Errorf("expected `CREATE VIEW <name> AS SELECT ...`, got %q", stmt)
+		}
+		name := fields[2]
+		body := stmt[strings.Index(strings.ToUpper(stmt), " AS ")+4:]
+		def, err := viewdef.Parse(cat, body)
+		if err != nil {
+			return nil, fmt.Errorf("view %s: %w", name, err)
+		}
+		out = append(out, tpcd.NamedView{Name: name, Def: def})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no CREATE VIEW statements found")
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command mvrefresh demonstrates the execution half of the system: it
+// generates a TPC-D database at a small scale factor, optimizes maintenance
+// for a workload, materializes the chosen results, simulates nightly update
+// batches, refreshes the views with the optimizer's plans, verifies each
+// refresh against full recomputation, and reports wall-clock timings for
+// incremental maintenance versus recomputation.
+//
+// Usage:
+//
+//	mvrefresh -sf 0.002 -pct 5 -nights 3 -workload set5agg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/greedy"
+	"repro/internal/tpcd"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.002, "TPC-D scale factor (keep small: the engine is in-memory)")
+	pct := flag.Float64("pct", 5, "update percentage per night")
+	nights := flag.Int("nights", 3, "number of refresh cycles")
+	workload := flag.String("workload", "agg4", "workload: join4 agg4 set5 set5agg")
+	seed := flag.Int64("seed", 1, "data generator seed")
+	flag.Parse()
+
+	cat := tpcd.NewCatalog(*sf, true)
+	fmt.Printf("generating TPC-D at SF %g…\n", *sf)
+	db := tpcd.Generate(cat, *sf, *seed)
+
+	sys := core.NewSystem(cat, core.Options{})
+	var views []tpcd.NamedView
+	switch *workload {
+	case "join4":
+		views = []tpcd.NamedView{{Name: "join4", Def: tpcd.ViewJoin4(cat)}}
+	case "agg4":
+		views = []tpcd.NamedView{{Name: "agg4", Def: tpcd.ViewAgg4(cat)}}
+	case "set5":
+		views = tpcd.ViewSet5(cat, false)
+	case "set5agg":
+		views = tpcd.ViewSet5(cat, true)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	for _, v := range views {
+		if _, err := sys.AddView(v.Name, v.Def); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	updated := []string{"customer", "orders", "lineitem"}
+	u := diff.UniformPercent(cat, updated, *pct)
+	plan := sys.OptimizeGreedy(u, greedy.DefaultConfig())
+	fmt.Print(plan.Report())
+
+	rt := plan.NewRuntime(db)
+	fmt.Printf("materialized %d results\n\n", len(plan.Eval.MS.Fulls.Full))
+
+	for night := 1; night <= *nights; night++ {
+		tpcd.LogUniformUpdates(cat, db, updated, *pct, *seed+int64(night))
+
+		start := time.Now()
+		rt.Refresh()
+		refreshTime := time.Since(start)
+
+		start = time.Now()
+		if err := rt.Verify(); err != nil {
+			fmt.Fprintf(os.Stderr, "night %d: VERIFICATION FAILED: %v\n", night, err)
+			os.Exit(1)
+		}
+		verifyTime := time.Since(start) // verification recomputes every view
+
+		fmt.Printf("night %d: incremental refresh %v, full recomputation (verify) %v",
+			night, refreshTime.Round(time.Millisecond), verifyTime.Round(time.Millisecond))
+		if verifyTime > 0 {
+			fmt.Printf("  (%.1fx)", float64(verifyTime)/float64(refreshTime))
+		}
+		fmt.Println(" — verified exact")
+	}
+}

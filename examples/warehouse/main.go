@@ -1,0 +1,55 @@
+// Warehouse: an end-to-end nightly-refresh simulation on generated TPC-D
+// data. The optimizer plans maintenance for two views (a four-relation join
+// and an aggregate over it), the runtime materializes them, update batches
+// arrive, and each refresh is executed and verified against recomputation —
+// the validation step the paper could not perform without an engine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/tpcd"
+)
+
+func main() {
+	const sf = 0.002 // small scale so the demo runs in moments
+	cat := tpcd.NewCatalog(sf, true)
+	db := tpcd.Generate(cat, sf, 2026)
+	fmt.Printf("generated TPC-D at SF %g: %d lineitems, %d orders\n",
+		sf, db.MustRelation("lineitem").Len(), db.MustRelation("orders").Len())
+
+	sys := repro.NewSystem(cat, repro.Options{})
+	if _, err := sys.AddView("recent_sales", tpcd.ViewJoin4(cat)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.AddView("revenue_by_nation", tpcd.ViewAgg4(cat)); err != nil {
+		log.Fatal(err)
+	}
+
+	updated := []string{"customer", "orders", "lineitem"}
+	u := repro.UniformUpdates(cat, updated, 5)
+	plan := sys.OptimizeGreedy(u, repro.DefaultGreedyConfig())
+	fmt.Println("\noptimizer decisions:")
+	fmt.Print(plan.Report())
+
+	rt := plan.NewRuntime(db)
+	fmt.Printf("\nmaterialized %d results; starting nightly cycles\n", len(plan.Eval.MS.Fulls.Full))
+
+	for night := 1; night <= 3; night++ {
+		tpcd.LogUniformUpdates(cat, db, updated, 5, int64(night))
+		start := time.Now()
+		rt.Refresh()
+		elapsed := time.Since(start)
+		if err := rt.Verify(); err != nil {
+			log.Fatalf("night %d: %v", night, err)
+		}
+		fmt.Printf("night %d: refreshed in %v, views verified (%d join rows, %d agg groups)\n",
+			night, elapsed.Round(time.Millisecond),
+			rt.ViewRows(plan.Views[0].View).Len(),
+			rt.ViewRows(plan.Views[1].View).Len())
+	}
+	fmt.Println("\nall refreshes matched full recomputation — incremental maintenance is exact")
+}

@@ -1,0 +1,270 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+)
+
+func testCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	cat.AddTable(&catalog.Table{
+		Name: "r",
+		Columns: []catalog.Column{
+			{Name: "a", Type: catalog.Int, Width: 8},
+			{Name: "b", Type: catalog.Int, Width: 8},
+		},
+		PrimaryKey: []string{"a"},
+		Stats:      catalog.TableStats{Rows: 100},
+	})
+	cat.AddTable(&catalog.Table{
+		Name: "s",
+		Columns: []catalog.Column{
+			{Name: "b", Type: catalog.Int, Width: 8},
+			{Name: "c", Type: catalog.String, Width: 16},
+		},
+		PrimaryKey: []string{"b"},
+		Stats:      catalog.TableStats{Rows: 200},
+	})
+	return cat
+}
+
+func TestValueCompareNumericCrossKind(t *testing.T) {
+	if NewInt(3).Compare(NewFloat(3.0)) != 0 {
+		t.Errorf("Int 3 should equal Float 3.0")
+	}
+	if NewInt(2).Compare(NewFloat(2.5)) != -1 {
+		t.Errorf("Int 2 should be less than Float 2.5")
+	}
+	if NewDate(10).Compare(NewInt(9)) != 1 {
+		t.Errorf("Date 10 should exceed Int 9")
+	}
+}
+
+func TestValueCompareStrings(t *testing.T) {
+	if NewString("abc").Compare(NewString("abd")) != -1 {
+		t.Errorf("string ordering broken")
+	}
+	if !NewString("x").Equal(NewString("x")) {
+		t.Errorf("equal strings should compare equal")
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	// Property: Compare is antisymmetric and transitive on random values.
+	gen := func(r *rand.Rand) Value {
+		switch r.Intn(4) {
+		case 0:
+			return NewInt(int64(r.Intn(20) - 10))
+		case 1:
+			return NewFloat(float64(r.Intn(20)-10) / 2)
+		case 2:
+			return NewDate(int64(r.Intn(10)))
+		default:
+			return NewString(string(rune('a' + r.Intn(5))))
+		}
+	}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		a, b, c := gen(r), gen(r), gen(r)
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("antisymmetry violated: %v vs %v", a, b)
+		}
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestCmpCanonicalString(t *testing.T) {
+	ab := Eq("r.a", "s.b")
+	ba := Eq("s.b", "r.a")
+	if ab.String() != ba.String() {
+		t.Errorf("equality should render canonically: %q vs %q", ab.String(), ba.String())
+	}
+	// Constant on left flips.
+	flipped := Cmp{Op: GT, L: Const{Val: NewInt(5)}, R: C("r.a")}
+	if flipped.String() != "r.a<5" {
+		t.Errorf("constant should normalize to the right: got %q", flipped.String())
+	}
+}
+
+func TestPredCanonicalOrder(t *testing.T) {
+	p1 := And(Eq("r.a", "s.b"), CmpConst("r.b", LT, NewInt(10)))
+	p2 := And(CmpConst("r.b", LT, NewInt(10)), Eq("s.b", "r.a"))
+	if p1.String() != p2.String() {
+		t.Errorf("conjunction order should not matter: %q vs %q", p1.String(), p2.String())
+	}
+}
+
+func TestPredEval(t *testing.T) {
+	s := Schema{
+		{Rel: "r", Name: "a", Type: catalog.Int},
+		{Rel: "r", Name: "b", Type: catalog.Int},
+	}
+	p := And(CmpConst("r.a", GE, NewInt(5)), CmpConst("r.b", NE, NewInt(0)))
+	if !p.Eval(s, Tuple{NewInt(5), NewInt(1)}) {
+		t.Errorf("5>=5 and 1<>0 should pass")
+	}
+	if p.Eval(s, Tuple{NewInt(4), NewInt(1)}) {
+		t.Errorf("4>=5 should fail")
+	}
+	if p.Eval(s, Tuple{NewInt(9), NewInt(0)}) {
+		t.Errorf("0<>0 should fail")
+	}
+	if !TruePred().Eval(s, Tuple{NewInt(0), NewInt(0)}) {
+		t.Errorf("empty conjunction is TRUE")
+	}
+}
+
+func TestCmpEvalAllOps(t *testing.T) {
+	s := Schema{{Rel: "r", Name: "a", Type: catalog.Int}}
+	tup := Tuple{NewInt(5)}
+	cases := []struct {
+		op   CmpOp
+		rhs  int64
+		want bool
+	}{
+		{EQ, 5, true}, {EQ, 4, false},
+		{NE, 4, true}, {NE, 5, false},
+		{LT, 6, true}, {LT, 5, false},
+		{LE, 5, true}, {LE, 4, false},
+		{GT, 4, true}, {GT, 5, false},
+		{GE, 5, true}, {GE, 6, false},
+	}
+	for _, tc := range cases {
+		got := CmpConst("r.a", tc.op, NewInt(tc.rhs)).Eval(s, tup).I == 1
+		if got != tc.want {
+			t.Errorf("5 %s %d: got %v want %v", tc.op, tc.rhs, got, tc.want)
+		}
+	}
+}
+
+func TestSchemaIndexOf(t *testing.T) {
+	s := Schema{
+		{Rel: "r", Name: "a"},
+		{Rel: "s", Name: "a"},
+		{Rel: "s", Name: "c"},
+	}
+	if s.IndexOf("r.a") != 0 || s.IndexOf("s.a") != 1 {
+		t.Errorf("qualified lookup broken")
+	}
+	if s.IndexOf("a") != -1 {
+		t.Errorf("ambiguous unqualified lookup should return -1")
+	}
+	if s.IndexOf("c") != 2 {
+		t.Errorf("unambiguous unqualified lookup should resolve")
+	}
+	if s.IndexOf("r.zzz") != -1 {
+		t.Errorf("missing column should return -1")
+	}
+}
+
+func TestJoinSchemaAndTables(t *testing.T) {
+	cat := testCatalog()
+	j := NewJoin(And(Eq("r.b", "s.b")), NewScan(cat, "r"), NewScan(cat, "s"))
+	if len(j.Schema()) != 4 {
+		t.Fatalf("join schema should have 4 columns, got %d", len(j.Schema()))
+	}
+	tables := Tables(j)
+	if len(tables) != 2 || tables[0] != "r" || tables[1] != "s" {
+		t.Errorf("Tables = %v", tables)
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	cat := testCatalog()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("projecting a missing column should panic")
+		}
+	}()
+	NewProject([]ColRef{C("r.zzz")}, NewScan(cat, "r"))
+}
+
+func TestAggregateSchema(t *testing.T) {
+	cat := testCatalog()
+	agg := NewAggregate(
+		[]ColRef{C("r.a")},
+		[]AggSpec{{Func: Count}, {Func: Sum, Col: C("r.b"), As: "total"}},
+		NewScan(cat, "r"),
+	)
+	s := agg.Schema()
+	if len(s) != 3 {
+		t.Fatalf("schema = %v", s)
+	}
+	if s.IndexOf("agg.count") != 1 || s.IndexOf("agg.total") != 2 {
+		t.Errorf("aggregate output naming broken: %v", s)
+	}
+}
+
+func TestAggregateCanonicalString(t *testing.T) {
+	cat := testCatalog()
+	a1 := NewAggregate([]ColRef{C("r.a"), C("r.b")},
+		[]AggSpec{{Func: Sum, Col: C("r.b")}, {Func: Count}}, NewScan(cat, "r"))
+	a2 := NewAggregate([]ColRef{C("r.b"), C("r.a")},
+		[]AggSpec{{Func: Count}, {Func: Sum, Col: C("r.b")}}, NewScan(cat, "r"))
+	if a1.String() != a2.String() {
+		t.Errorf("aggregate canonical form should ignore list order:\n%s\n%s", a1, a2)
+	}
+}
+
+func TestUnionArityPanics(t *testing.T) {
+	cat := testCatalog()
+	r := NewScan(cat, "r")
+	if got := NewUnion(r, r).String(); got == "" {
+		t.Errorf("union should render")
+	}
+	wide := NewJoin(TruePred(), NewScan(cat, "r"), NewScan(cat, "s"))
+	defer func() {
+		if recover() == nil {
+			t.Errorf("arity mismatch should panic")
+		}
+	}()
+	NewUnion(r, wide)
+}
+
+func TestMinusArityPanics(t *testing.T) {
+	cat := testCatalog()
+	wide := NewJoin(TruePred(), NewScan(cat, "r"), NewScan(cat, "s"))
+	defer func() {
+		if recover() == nil {
+			t.Errorf("minus with arity mismatch should panic")
+		}
+	}()
+	NewMinus(NewScan(cat, "r"), wide)
+}
+
+func TestPredRefersOnlyTo(t *testing.T) {
+	cat := testCatalog()
+	r := NewScan(cat, "r")
+	p := And(CmpConst("r.a", LT, NewInt(3)))
+	if !p.RefersOnlyTo(r.Schema()) {
+		t.Errorf("predicate over r should refer only to r")
+	}
+	q := And(Eq("r.b", "s.b"))
+	if q.RefersOnlyTo(r.Schema()) {
+		t.Errorf("join predicate should not fit r alone")
+	}
+}
+
+func TestCmpOpFlipInvolution(t *testing.T) {
+	f := func(op uint8) bool {
+		o := CmpOp(op % 6)
+		return o.Flip().Flip() == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	orig := Tuple{NewInt(1), NewString("x")}
+	cl := orig.Clone()
+	cl[0] = NewInt(99)
+	if orig[0].I != 1 {
+		t.Errorf("clone should not alias the original")
+	}
+}

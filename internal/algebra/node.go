@@ -1,0 +1,362 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// AggFunc is an aggregate function. All four are distributive (AVG is
+// maintained as SUM/COUNT), which is what makes incremental maintenance of
+// aggregate views possible (paper §3.1.2). MIN and MAX are supported by the
+// executor but force group recomputation on deletes.
+type AggFunc int
+
+const (
+	// Count counts tuples in the group (COUNT(*)).
+	Count AggFunc = iota
+	// Sum sums a numeric column.
+	Sum
+	// Avg averages a numeric column (maintained as Sum and Count).
+	Avg
+	// Min tracks the minimum (not incrementally maintainable under deletes).
+	Min
+	// Max tracks the maximum (not incrementally maintainable under deletes).
+	Max
+)
+
+// String renders the aggregate function name.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// Distributive reports whether the function can be maintained from deltas
+// and the old materialized result alone (with a per-group count).
+func (f AggFunc) Distributive() bool {
+	return f == Count || f == Sum || f == Avg
+}
+
+// AggSpec is one aggregate output: FUNC(col) AS name.
+type AggSpec struct {
+	Func AggFunc
+	Col  ColRef // ignored for Count
+	As   string
+}
+
+// String renders "FUNC(col)".
+func (a AggSpec) String() string {
+	if a.Func == Count {
+		return "COUNT(*)"
+	}
+	return a.Func.String() + "(" + a.Col.QName() + ")"
+}
+
+// Node is a logical operator tree node. Trees are immutable after
+// construction. Schema() is computed once at build time.
+type Node interface {
+	Schema() Schema
+	Children() []Node
+	// String renders a one-line canonical form of the whole subtree.
+	String() string
+	// BaseTables appends the set of base relation names in the subtree.
+	BaseTables(dst map[string]bool)
+}
+
+// ---------------------------------------------------------------------------
+
+// Scan reads a base relation.
+type Scan struct {
+	Table  string
+	schema Schema
+}
+
+// NewScan builds a scan over a catalog table. The alias is the table name.
+func NewScan(cat *catalog.Catalog, table string) *Scan {
+	t := cat.MustTable(table)
+	return &Scan{Table: table, schema: TableSchema(t, table)}
+}
+
+// Schema of the base relation.
+func (n *Scan) Schema() Schema { return n.schema }
+
+// Children is empty for scans.
+func (n *Scan) Children() []Node { return nil }
+
+// String renders the scan.
+func (n *Scan) String() string { return n.Table }
+
+// BaseTables adds this table.
+func (n *Scan) BaseTables(dst map[string]bool) { dst[n.Table] = true }
+
+// ---------------------------------------------------------------------------
+
+// Select filters its input by a conjunctive predicate.
+type Select struct {
+	Pred  Pred
+	Input Node
+}
+
+// NewSelect builds a selection.
+func NewSelect(pred Pred, in Node) *Select { return &Select{Pred: pred, Input: in} }
+
+// Schema passes through.
+func (n *Select) Schema() Schema { return n.Input.Schema() }
+
+// Children returns the single input.
+func (n *Select) Children() []Node { return []Node{n.Input} }
+
+// String renders σ[pred](input).
+func (n *Select) String() string {
+	return "select[" + n.Pred.String() + "](" + n.Input.String() + ")"
+}
+
+// BaseTables delegates.
+func (n *Select) BaseTables(dst map[string]bool) { n.Input.BaseTables(dst) }
+
+// ---------------------------------------------------------------------------
+
+// Join is an inner multiset join under a conjunctive predicate (usually
+// equi-join conjuncts).
+type Join struct {
+	Pred Pred
+	L, R Node
+}
+
+// NewJoin builds a join.
+func NewJoin(pred Pred, l, r Node) *Join { return &Join{Pred: pred, L: l, R: r} }
+
+// Schema is the concatenation of both inputs.
+func (n *Join) Schema() Schema { return n.L.Schema().Concat(n.R.Schema()) }
+
+// Children returns both inputs.
+func (n *Join) Children() []Node { return []Node{n.L, n.R} }
+
+// String renders (l join[pred] r).
+func (n *Join) String() string {
+	return "(" + n.L.String() + " join[" + n.Pred.String() + "] " + n.R.String() + ")"
+}
+
+// BaseTables unions both sides.
+func (n *Join) BaseTables(dst map[string]bool) {
+	n.L.BaseTables(dst)
+	n.R.BaseTables(dst)
+}
+
+// ---------------------------------------------------------------------------
+
+// Project keeps a subset of columns (no expressions; computed columns appear
+// only as aggregate outputs, which is all the paper's workloads need).
+type Project struct {
+	Cols   []ColRef
+	Input  Node
+	schema Schema
+}
+
+// NewProject builds a projection. It panics if a column is missing, because
+// view definitions are validated at registration time.
+func NewProject(cols []ColRef, in Node) *Project {
+	is := in.Schema()
+	sch := make(Schema, len(cols))
+	for i, c := range cols {
+		j := is.IndexOf(c.QName())
+		if j < 0 {
+			panic(fmt.Sprintf("algebra: project column %s not in %s", c.QName(), is))
+		}
+		sch[i] = is[j]
+	}
+	return &Project{Cols: cols, Input: in, schema: sch}
+}
+
+// Schema is the projected schema.
+func (n *Project) Schema() Schema { return n.schema }
+
+// Children returns the single input.
+func (n *Project) Children() []Node { return []Node{n.Input} }
+
+// String renders project[cols](input).
+func (n *Project) String() string {
+	parts := make([]string, len(n.Cols))
+	for i, c := range n.Cols {
+		parts[i] = c.QName()
+	}
+	return "project[" + strings.Join(parts, ",") + "](" + n.Input.String() + ")"
+}
+
+// BaseTables delegates.
+func (n *Project) BaseTables(dst map[string]bool) { n.Input.BaseTables(dst) }
+
+// ---------------------------------------------------------------------------
+
+// Aggregate groups by a column list and computes aggregate outputs.
+// Output schema: group-by columns first, then one column per AggSpec under
+// the pseudo-relation "agg".
+type Aggregate struct {
+	GroupBy []ColRef
+	Aggs    []AggSpec
+	Input   Node
+	schema  Schema
+}
+
+// NewAggregate builds a group-by/aggregate node.
+func NewAggregate(groupBy []ColRef, aggs []AggSpec, in Node) *Aggregate {
+	is := in.Schema()
+	sch := make(Schema, 0, len(groupBy)+len(aggs))
+	for _, g := range groupBy {
+		j := is.IndexOf(g.QName())
+		if j < 0 {
+			panic(fmt.Sprintf("algebra: group-by column %s not in %s", g.QName(), is))
+		}
+		sch = append(sch, is[j])
+	}
+	for _, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = strings.ToLower(a.Func.String())
+			if a.Func != Count {
+				name += "_" + a.Col.Name
+			}
+		}
+		typ := catalog.Float
+		if a.Func == Count {
+			typ = catalog.Int
+		}
+		sch = append(sch, Col{Rel: "agg", Name: name, Type: typ, Width: 8})
+	}
+	return &Aggregate{GroupBy: groupBy, Aggs: aggs, Input: in, schema: sch}
+}
+
+// Schema is group-by columns followed by aggregate outputs.
+func (n *Aggregate) Schema() Schema { return n.schema }
+
+// Children returns the single input.
+func (n *Aggregate) Children() []Node { return []Node{n.Input} }
+
+// String renders gb[cols;aggs](input) with canonical ordering.
+func (n *Aggregate) String() string {
+	gs := make([]string, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		gs[i] = g.QName()
+	}
+	sort.Strings(gs)
+	as := make([]string, len(n.Aggs))
+	for i, a := range n.Aggs {
+		as[i] = a.String()
+	}
+	sort.Strings(as)
+	return "gb[" + strings.Join(gs, ",") + ";" + strings.Join(as, ",") + "](" + n.Input.String() + ")"
+}
+
+// BaseTables delegates.
+func (n *Aggregate) BaseTables(dst map[string]bool) { n.Input.BaseTables(dst) }
+
+// ---------------------------------------------------------------------------
+
+// Union is multiset union (UNION ALL). It appears in generated maintenance
+// expressions; user views may also use it.
+type Union struct {
+	L, R Node
+}
+
+// NewUnion builds a multiset union; both schemas must be compatible.
+func NewUnion(l, r Node) *Union {
+	if len(l.Schema()) != len(r.Schema()) {
+		panic("algebra: union arity mismatch")
+	}
+	return &Union{L: l, R: r}
+}
+
+// Schema is the left input's schema.
+func (n *Union) Schema() Schema { return n.L.Schema() }
+
+// Children returns both inputs.
+func (n *Union) Children() []Node { return []Node{n.L, n.R} }
+
+// String renders (l union r).
+func (n *Union) String() string { return "(" + n.L.String() + " union " + n.R.String() + ")" }
+
+// BaseTables unions both sides.
+func (n *Union) BaseTables(dst map[string]bool) {
+	n.L.BaseTables(dst)
+	n.R.BaseTables(dst)
+}
+
+// ---------------------------------------------------------------------------
+
+// Minus is multiset difference (monus): each tuple's multiplicity is reduced.
+type Minus struct {
+	L, R Node
+}
+
+// NewMinus builds a multiset difference.
+func NewMinus(l, r Node) *Minus {
+	if len(l.Schema()) != len(r.Schema()) {
+		panic("algebra: minus arity mismatch")
+	}
+	return &Minus{L: l, R: r}
+}
+
+// Schema is the left input's schema.
+func (n *Minus) Schema() Schema { return n.L.Schema() }
+
+// Children returns both inputs.
+func (n *Minus) Children() []Node { return []Node{n.L, n.R} }
+
+// String renders (l minus r).
+func (n *Minus) String() string { return "(" + n.L.String() + " minus " + n.R.String() + ")" }
+
+// BaseTables unions both sides.
+func (n *Minus) BaseTables(dst map[string]bool) {
+	n.L.BaseTables(dst)
+	n.R.BaseTables(dst)
+}
+
+// ---------------------------------------------------------------------------
+
+// Dedup is duplicate elimination (DISTINCT).
+type Dedup struct {
+	Input Node
+}
+
+// NewDedup builds a duplicate-elimination node.
+func NewDedup(in Node) *Dedup { return &Dedup{Input: in} }
+
+// Schema passes through.
+func (n *Dedup) Schema() Schema { return n.Input.Schema() }
+
+// Children returns the single input.
+func (n *Dedup) Children() []Node { return []Node{n.Input} }
+
+// String renders dedup(input).
+func (n *Dedup) String() string { return "dedup(" + n.Input.String() + ")" }
+
+// BaseTables delegates.
+func (n *Dedup) BaseTables(dst map[string]bool) { n.Input.BaseTables(dst) }
+
+// ---------------------------------------------------------------------------
+
+// Tables returns the sorted base-table set of a tree.
+func Tables(n Node) []string {
+	m := make(map[string]bool)
+	n.BaseTables(m)
+	out := make([]string, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,98 @@
+package algebra
+
+import (
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// Col identifies one column of an intermediate result. Columns are qualified
+// by the base relation (or alias) they originate from, so "lineitem.l_qty"
+// stays unambiguous through joins. Computed columns (aggregate outputs) use
+// the pseudo-relation name of the producing operator.
+type Col struct {
+	Rel  string
+	Name string
+	Type catalog.Type
+	// Width is the average stored width in bytes, used by the cost model.
+	Width int
+}
+
+// QName returns the qualified "rel.name" form.
+func (c Col) QName() string { return c.Rel + "." + c.Name }
+
+// Schema is an ordered list of output columns.
+type Schema []Col
+
+// IndexOf returns the position of the column with the given qualified name,
+// or -1. An unqualified name matches if it is unambiguous.
+func (s Schema) IndexOf(qname string) int {
+	if i := strings.IndexByte(qname, '.'); i >= 0 {
+		rel, name := qname[:i], qname[i+1:]
+		for j, c := range s {
+			if c.Rel == rel && c.Name == name {
+				return j
+			}
+		}
+		return -1
+	}
+	found := -1
+	for j, c := range s {
+		if c.Name == qname {
+			if found >= 0 {
+				return -1 // ambiguous
+			}
+			found = j
+		}
+	}
+	return found
+}
+
+// Has reports whether the schema contains the qualified column.
+func (s Schema) Has(qname string) bool { return s.IndexOf(qname) >= 0 }
+
+// Width returns the total average tuple width in bytes.
+func (s Schema) Width() int {
+	w := 0
+	for _, c := range s {
+		w += c.Width
+	}
+	if w == 0 {
+		w = 8
+	}
+	return w
+}
+
+// Concat returns the concatenation of two schemas (join output).
+func (s Schema) Concat(o Schema) Schema {
+	out := make(Schema, 0, len(s)+len(o))
+	out = append(out, s...)
+	out = append(out, o...)
+	return out
+}
+
+// String renders the schema as "(rel.col:TYPE, ...)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.QName())
+		b.WriteByte(':')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// TableSchema derives the Schema of a base table, qualifying each column
+// with the given alias (usually the table name).
+func TableSchema(t *catalog.Table, alias string) Schema {
+	out := make(Schema, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = Col{Rel: alias, Name: c.Name, Type: c.Type, Width: c.Width}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+// Package algebra defines the multiset relational algebra used throughout
+// the system: typed values, scalar expressions (predicates, arithmetic,
+// aggregate specifications) and logical operator trees (scan, select,
+// project, join, aggregate, union, minus, dedup). Logical trees are the
+// input to the AND-OR DAG builder; scalar expressions are shared with the
+// execution engine, which evaluates them against tuples.
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/catalog"
+)
+
+// Value is a single typed datum. Exactly one of the fields is meaningful,
+// selected by Kind. A small tagged struct beats interface{} here: it avoids
+// per-value allocations in the executor's inner loops.
+type Value struct {
+	Kind catalog.Type
+	I    int64
+	F    float64
+	S    string
+}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{Kind: catalog.Int, I: v} }
+
+// NewFloat returns a float value.
+func NewFloat(v float64) Value { return Value{Kind: catalog.Float, F: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{Kind: catalog.String, S: v} }
+
+// NewDate returns a date value (integer day number).
+func NewDate(day int64) Value { return Value{Kind: catalog.Date, I: day} }
+
+// AsFloat converts a numeric value to float64. Strings convert to 0; the
+// planner never compares strings numerically.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case catalog.Int, catalog.Date:
+		return float64(v.I)
+	case catalog.Float:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// Compare orders two values: -1, 0, +1. All numeric kinds (Int/Date/Float)
+// form one class and compare numerically with each other; strings form a
+// second class ordered after every numeric. This keeps Compare a total order
+// (needed by sort-based operators) even across mixed kinds.
+func (v Value) Compare(o Value) int {
+	vn, on := v.numericKind(), o.numericKind()
+	switch {
+	case vn && on:
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	case vn && !on:
+		return -1
+	case !vn && on:
+		return 1
+	}
+	switch {
+	case v.S < o.S:
+		return -1
+	case v.S > o.S:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (v Value) numericKind() bool {
+	return v.Kind == catalog.Int || v.Kind == catalog.Float || v.Kind == catalog.Date
+}
+
+// Equal reports value equality under Compare semantics.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// String renders the value as a literal.
+func (v Value) String() string {
+	switch v.Kind {
+	case catalog.Int, catalog.Date:
+		return strconv.FormatInt(v.I, 10)
+	case catalog.Float:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case catalog.String:
+		return "'" + v.S + "'"
+	default:
+		return fmt.Sprintf("?%d", v.Kind)
+	}
+}
+
+// Tuple is one row: a flat slice of values laid out per the owning schema.
+type Tuple []Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/diff"
+	"repro/internal/greedy"
+	"repro/internal/tpcd"
+)
+
+// AblationResult compares greedy-optimizer configurations on the ten-view
+// workload, quantifying the two §6.2 optimizations the paper adopts from
+// [RSSB00] and the value of subsumption derivations in the DAG.
+type AblationResult struct {
+	// Full configuration (both optimizations on).
+	LazyCalls int
+	LazyCost  float64
+	LazyTime  time.Duration
+	// Monotonicity off: every candidate re-evaluated per iteration.
+	NaiveCalls int
+	NaiveCost  float64
+	NaiveTime  time.Duration
+	// Incremental cost update off (monotonicity on): benefit evaluations
+	// cost the whole DAG from scratch.
+	NoIncTime time.Duration
+	NoIncCost float64
+	// Subsumption derivations disabled in the DAG.
+	NoSubCost float64
+}
+
+// Ablation runs the ten-view workload at 10% updates under each
+// configuration.
+func Ablation() AblationResult {
+	run := func(cfg greedy.Config, subsumption bool) (*greedy.Result, time.Duration) {
+		cat := tpcd.NewCatalog(ScaleFactor, true)
+		s := core.NewSystem(cat, core.Options{
+			Params:             cost.Default(),
+			DisableSubsumption: !subsumption,
+		})
+		for _, v := range tpcd.ViewSet10(cat) {
+			if _, err := s.AddView(v.Name, v.Def); err != nil {
+				panic(err)
+			}
+		}
+		u := diff.UniformPercent(cat, tpcd.UpdatedRelations(), 10)
+		start := time.Now()
+		plan := s.OptimizeGreedy(u, cfg)
+		return plan.Greedy, time.Since(start)
+	}
+
+	var out AblationResult
+	lazy, lazyT := run(greedy.DefaultConfig(), true)
+	out.LazyCalls, out.LazyCost, out.LazyTime = lazy.BenefitCalls, lazy.FinalCost, lazyT
+
+	naiveCfg := greedy.DefaultConfig()
+	naiveCfg.DisableMonotonicity = true
+	naive, naiveT := run(naiveCfg, true)
+	out.NaiveCalls, out.NaiveCost, out.NaiveTime = naive.BenefitCalls, naive.FinalCost, naiveT
+
+	noIncCfg := greedy.DefaultConfig()
+	noIncCfg.DisableIncremental = true
+	noInc, noIncT := run(noIncCfg, true)
+	out.NoIncCost, out.NoIncTime = noInc.FinalCost, noIncT
+
+	noSub, _ := run(greedy.DefaultConfig(), false)
+	out.NoSubCost = noSub.FinalCost
+	return out
+}
+
+// Format renders the ablation table.
+func (r AblationResult) Format() string {
+	return fmt.Sprintf(
+		"t-abl — ablation of the greedy optimizations (10 views, 10%% updates)\n"+
+			"  full configuration:        cost %8.2f s, %4d benefit calls, %v\n"+
+			"  no monotonicity (naive):   cost %8.2f s, %4d benefit calls, %v\n"+
+			"  no incremental update:     cost %8.2f s,  (same calls), %v\n"+
+			"  no subsumption in DAG:     cost %8.2f s\n"+
+			"  benefit-call reduction from monotonicity: %.1fx\n"+
+			"  speedup from incremental cost update:     %.1fx\n",
+		r.LazyCost, r.LazyCalls, r.LazyTime.Round(time.Millisecond),
+		r.NaiveCost, r.NaiveCalls, r.NaiveTime.Round(time.Millisecond),
+		r.NoIncCost, r.NoIncTime.Round(time.Millisecond),
+		r.NoSubCost,
+		float64(r.NaiveCalls)/float64(r.LazyCalls),
+		float64(r.NoIncTime)/float64(r.LazyTime))
+}

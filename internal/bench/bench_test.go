@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkShape asserts the qualitative properties the paper reports for every
+// figure: Greedy never loses, wins most at the lowest update percentage, and
+// the advantage shrinks (weakly) toward high update percentages.
+func checkShape(t *testing.T, s *Series) {
+	t.Helper()
+	if len(s.X) != len(UpdatePercents) {
+		t.Fatalf("%s: wrong sweep length %d", s.Name, len(s.X))
+	}
+	for i := range s.X {
+		if s.Greedy[i] > s.NoGreedy[i]*(1+1e-9) {
+			t.Errorf("%s: Greedy loses at %g%%: %g vs %g",
+				s.Name, s.X[i], s.Greedy[i], s.NoGreedy[i])
+		}
+		if s.Greedy[i] <= 0 || s.NoGreedy[i] <= 0 {
+			t.Errorf("%s: non-positive cost at %g%%", s.Name, s.X[i])
+		}
+	}
+	first := s.NoGreedy[0] / s.Greedy[0]
+	last := s.NoGreedy[len(s.X)-1] / s.Greedy[len(s.X)-1]
+	if first < last {
+		t.Errorf("%s: benefit ratio should be largest at low update %%: %.2f vs %.2f",
+			s.Name, first, last)
+	}
+	if first < 1.05 {
+		t.Errorf("%s: expected a visible win at 1%% updates, ratio %.3f", s.Name, first)
+	}
+	// Costs must grow with the update percentage for the baseline.
+	for i := 1; i < len(s.X); i++ {
+		if s.NoGreedy[i] < s.NoGreedy[i-1]*(1-1e-9) {
+			t.Errorf("%s: NoGreedy cost decreased from %g%% to %g%%", s.Name, s.X[i-1], s.X[i])
+		}
+	}
+}
+
+func TestFigure3aShape(t *testing.T) { checkShape(t, Figure3a()) }
+func TestFigure3bShape(t *testing.T) { checkShape(t, Figure3b()) }
+func TestFigure4aShape(t *testing.T) { checkShape(t, Figure4a()) }
+func TestFigure4bShape(t *testing.T) { checkShape(t, Figure4b()) }
+func TestFigure5aShape(t *testing.T) { checkShape(t, Figure5a()) }
+func TestFigure5bShape(t *testing.T) { checkShape(t, Figure5b()) }
+
+func TestViewSetsBenefitMoreThanStandalone(t *testing.T) {
+	// Sharing across five views should produce larger absolute savings than
+	// a single view. (The *ratio* need not dominate: the five-view set
+	// includes a deliberately unselective view that dilutes it.)
+	solo := Figure3a()
+	set := Figure4a()
+	soloSavings := solo.NoGreedy[0] - solo.Greedy[0]
+	setSavings := set.NoGreedy[0] - set.Greedy[0]
+	if setSavings <= soloSavings {
+		t.Errorf("five views should save more than one: %.2f s vs %.2f s",
+			setSavings, soloSavings)
+	}
+}
+
+func TestFig5bGreedyRecoversWithoutIndexes(t *testing.T) {
+	// Paper: "all required indices got chosen … the cost of the plans we
+	// generate were not significantly affected by the presence of indices,
+	// although the cost of plans without our optimizations rose".
+	withIx := Figure5a()
+	without := Figure5b()
+	for i := range withIx.X {
+		if without.Greedy[i] > withIx.Greedy[i]*1.15 {
+			t.Errorf("Greedy should recover missing indexes at %g%%: %g vs %g",
+				withIx.X[i], without.Greedy[i], withIx.Greedy[i])
+		}
+		if without.NoGreedy[i] < withIx.NoGreedy[i]*(1-1e-9) {
+			t.Errorf("NoGreedy should not get cheaper without indexes at %g%%", withIx.X[i])
+		}
+	}
+}
+
+func TestOptimizationTimeBounded(t *testing.T) {
+	r := OptimizationTime()
+	// The paper took 31s on 2000-era hardware; anything over a minute here
+	// means the incremental/monotonicity optimizations regressed.
+	if r.Elapsed.Seconds() > 60 {
+		t.Errorf("greedy optimization too slow: %v", r.Elapsed)
+	}
+	if r.SavingsPerRun <= 0 {
+		t.Errorf("optimization should save plan cost, got %g", r.SavingsPerRun)
+	}
+	if r.Candidates == 0 || r.BenefitCalls == 0 {
+		t.Errorf("instrumentation missing: %+v", r)
+	}
+}
+
+func TestTempVsPermanentBands(t *testing.T) {
+	m := TempVsPermanent()
+	if m.Temporary+m.Permanent == 0 {
+		t.Fatalf("no full results chosen across all workloads")
+	}
+	// Paper: at 1–5% the split is roughly even; at 50–90% it shifts strongly
+	// toward temporary (recomputation). Check the direction.
+	lowFrac := frac(m.LowPerm, m.LowPerm+m.LowTemp)
+	highFrac := frac(m.HighPerm, m.HighPerm+m.HighTemp)
+	if m.LowPerm+m.LowTemp > 0 && m.HighPerm+m.HighTemp > 0 && highFrac > lowFrac {
+		t.Errorf("permanent fraction should fall as update %% rises: %.2f → %.2f",
+			lowFrac, highFrac)
+	}
+}
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func TestBufferComparisonDirection(t *testing.T) {
+	r := BufferComparison()
+	for i := range r.Pcts {
+		if r.SmallNoGreedy[i] < r.BigNoGreedy[i]*(1-1e-9) {
+			t.Errorf("smaller buffer should not lower NoGreedy cost at %g%%", r.Pcts[i])
+		}
+	}
+	// Paper: with a smaller buffer "the benefit ratio for small update
+	// percentages was actually more strongly in favor of our algorithms".
+	if r.SmallNoGreedy[0]/r.SmallGreedy[0] < r.BigNoGreedy[0]/r.BigGreedy[0]*0.9 {
+		t.Errorf("small-buffer ratio collapsed: %.2f vs %.2f",
+			r.SmallNoGreedy[0]/r.SmallGreedy[0], r.BigNoGreedy[0]/r.BigGreedy[0])
+	}
+}
+
+func TestAblationInvariants(t *testing.T) {
+	r := Ablation()
+	if r.NaiveCalls <= r.LazyCalls {
+		t.Errorf("monotonicity should reduce benefit calls: %d vs %d", r.LazyCalls, r.NaiveCalls)
+	}
+	// The incremental cost update must not change the outcome.
+	if diffPct(r.LazyCost, r.NoIncCost) > 1e-6 {
+		t.Errorf("incremental cost update changed outcome: %g vs %g", r.LazyCost, r.NoIncCost)
+	}
+	// The lazy heuristic must stay close to naive greedy.
+	if r.LazyCost > r.NaiveCost*1.2 {
+		t.Errorf("lazy heuristic strayed: %g vs %g", r.LazyCost, r.NaiveCost)
+	}
+	if out := r.Format(); !strings.Contains(out, "monotonicity") {
+		t.Errorf("format incomplete:\n%s", out)
+	}
+}
+
+func diffPct(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / (1 + b)
+}
+
+func TestExecutedRefreshVerifies(t *testing.T) {
+	r := ExecutedRefresh(0.002, 5, 1)
+	if !r.Verified {
+		t.Fatalf("executed maintenance diverged from recomputation")
+	}
+	if r.GreedyRefresh <= 0 || r.NoGreedyRefresh <= 0 || r.FullRecompute <= 0 {
+		t.Errorf("timings must be positive: %+v", r)
+	}
+	if !strings.Contains(r.Format(), "verified") {
+		t.Errorf("format incomplete")
+	}
+}
+
+func TestSeriesFormat(t *testing.T) {
+	s := &Series{Name: "figX", Label: "test", X: []float64{1},
+		Greedy: []float64{1}, NoGreedy: []float64{2}}
+	out := s.Format()
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "2.00") {
+		t.Errorf("format output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,293 @@
+// Package catalog defines database metadata: table schemas, column types,
+// table statistics, key constraints and index descriptors. Every other layer
+// (algebra, cost estimation, the AND-OR DAG, the execution engine) consults
+// the catalog; it has no dependencies of its own.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is the domain of a column. The engine is deliberately small: integers,
+// floats and strings cover the TPC-D-style schemas the paper evaluates on.
+// Dates are stored as integer day numbers.
+type Type int
+
+const (
+	// Int is a 64-bit signed integer column.
+	Int Type = iota
+	// Float is a 64-bit IEEE float column.
+	Float
+	// String is a variable-width string column.
+	String
+	// Date is an integer day-number column (kept distinct from Int so that
+	// schemas read naturally; it behaves exactly like Int).
+	Date
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case String:
+		return "VARCHAR"
+	case Date:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name  string
+	Type  Type
+	Width int // average stored width in bytes, used by the cost model
+}
+
+// ColumnStats carries per-column statistics used for selectivity estimation.
+type ColumnStats struct {
+	Distinct int64   // number of distinct values
+	Min, Max float64 // numeric value range; ignored for strings
+	// Hist, when present, refines range and equality selectivities beyond
+	// the uniform Min/Max interpolation.
+	Hist *Histogram
+}
+
+// TableStats carries per-table statistics.
+type TableStats struct {
+	Rows    int64
+	Columns map[string]ColumnStats
+}
+
+// Table is a base relation: schema, statistics, and primary key.
+type Table struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey []string
+	Stats      TableStats
+}
+
+// Column returns the column descriptor with the given name, or false.
+func (t *Table) Column(name string) (Column, bool) {
+	for _, c := range t.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// ColumnIndex returns the ordinal position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RowWidth is the average width of a full tuple in bytes.
+func (t *Table) RowWidth() int {
+	w := 0
+	for _, c := range t.Columns {
+		w += c.Width
+	}
+	return w
+}
+
+// DistinctOf returns the distinct-value count recorded for a column, falling
+// back to the row count (every value distinct) when no statistic is present.
+func (t *Table) DistinctOf(col string) int64 {
+	if cs, ok := t.Stats.Columns[col]; ok && cs.Distinct > 0 {
+		return cs.Distinct
+	}
+	if t.Stats.Rows > 0 {
+		return t.Stats.Rows
+	}
+	return 1
+}
+
+// Index describes a secondary (or primary) index.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// Key returns a canonical identity string for the index definition,
+// independent of the index name.
+func (ix Index) Key() string {
+	return ix.Table + "(" + strings.Join(ix.Columns, ",") + ")"
+}
+
+// ForeignKey declares that every value of Table.Columns appears in
+// RefTable.RefColumns. The differential optimizer uses foreign keys to prove
+// that certain joins against delta relations are empty (paper §5.3).
+type ForeignKey struct {
+	Table      string
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// Catalog is the metadata root: tables, indexes and foreign keys.
+type Catalog struct {
+	tables      map[string]*Table
+	tableOrder  []string
+	indexes     map[string]Index // by Key()
+	foreignKeys []ForeignKey
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:  make(map[string]*Table),
+		indexes: make(map[string]Index),
+	}
+}
+
+// AddTable registers a table. It panics on duplicate names or empty schemas:
+// catalogs are built by code, not user input, so mistakes are programmer bugs.
+func (c *Catalog) AddTable(t *Table) {
+	if t.Name == "" || len(t.Columns) == 0 {
+		panic("catalog: table must have a name and at least one column")
+	}
+	if _, ok := c.tables[t.Name]; ok {
+		panic("catalog: duplicate table " + t.Name)
+	}
+	if t.Stats.Columns == nil {
+		t.Stats.Columns = make(map[string]ColumnStats)
+	}
+	c.tables[t.Name] = t
+	c.tableOrder = append(c.tableOrder, t.Name)
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// MustTable looks up a table and panics if it is absent.
+func (c *Catalog) MustTable(name string) *Table {
+	t, ok := c.tables[name]
+	if !ok {
+		panic("catalog: unknown table " + name)
+	}
+	return t
+}
+
+// Tables returns the table names in registration order.
+func (c *Catalog) Tables() []string {
+	out := make([]string, len(c.tableOrder))
+	copy(out, c.tableOrder)
+	return out
+}
+
+// AddIndex registers an index. Adding the same (table, columns) definition
+// twice is a no-op so that callers can declare indexes idempotently.
+func (c *Catalog) AddIndex(ix Index) {
+	if _, ok := c.tables[ix.Table]; !ok {
+		panic("catalog: index on unknown table " + ix.Table)
+	}
+	c.indexes[ix.Key()] = ix
+}
+
+// DropIndex removes an index definition if present.
+func (c *Catalog) DropIndex(table string, columns []string) {
+	delete(c.indexes, Index{Table: table, Columns: columns}.Key())
+}
+
+// HasIndex reports whether an index exists whose leading column is col.
+func (c *Catalog) HasIndex(table, col string) bool {
+	for _, ix := range c.indexes {
+		if ix.Table == table && len(ix.Columns) > 0 && ix.Columns[0] == col {
+			return true
+		}
+	}
+	return false
+}
+
+// Indexes returns all index definitions, sorted by key for determinism.
+func (c *Catalog) Indexes() []Index {
+	out := make([]Index, 0, len(c.indexes))
+	for _, ix := range c.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// AddForeignKey registers a foreign-key constraint.
+func (c *Catalog) AddForeignKey(fk ForeignKey) {
+	if _, ok := c.tables[fk.Table]; !ok {
+		panic("catalog: foreign key on unknown table " + fk.Table)
+	}
+	if _, ok := c.tables[fk.RefTable]; !ok {
+		panic("catalog: foreign key references unknown table " + fk.RefTable)
+	}
+	c.foreignKeys = append(c.foreignKeys, fk)
+}
+
+// ForeignKeys returns all declared foreign keys.
+func (c *Catalog) ForeignKeys() []ForeignKey {
+	out := make([]ForeignKey, len(c.foreignKeys))
+	copy(out, c.foreignKeys)
+	return out
+}
+
+// IsForeignKeyInto reports whether table.col is declared as a foreign key
+// referencing refTable (any of its columns). Used by the differential
+// optimizer: if r.B is a foreign key into s.A, then δ+s ⋈ r is empty because
+// newly inserted s tuples cannot already be referenced by existing r tuples.
+func (c *Catalog) IsForeignKeyInto(table, col, refTable string) bool {
+	for _, fk := range c.foreignKeys {
+		if fk.Table != table || fk.RefTable != refTable {
+			continue
+		}
+		for _, fc := range fk.Columns {
+			if fc == col {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the catalog. The greedy view-selection
+// algorithm clones the catalog so that hypothetical index choices do not
+// disturb the caller's metadata.
+func (c *Catalog) Clone() *Catalog {
+	out := New()
+	for _, name := range c.tableOrder {
+		t := c.tables[name]
+		nt := &Table{
+			Name:       t.Name,
+			Columns:    append([]Column(nil), t.Columns...),
+			PrimaryKey: append([]string(nil), t.PrimaryKey...),
+			Stats: TableStats{
+				Rows:    t.Stats.Rows,
+				Columns: make(map[string]ColumnStats, len(t.Stats.Columns)),
+			},
+		}
+		for k, v := range t.Stats.Columns {
+			nt.Stats.Columns[k] = v
+		}
+		out.AddTable(nt)
+	}
+	for _, ix := range c.Indexes() {
+		out.AddIndex(ix)
+	}
+	for _, fk := range c.foreignKeys {
+		out.AddForeignKey(fk)
+	}
+	return out
+}

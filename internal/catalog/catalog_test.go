@@ -1,0 +1,162 @@
+package catalog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Catalog {
+	c := New()
+	c.AddTable(&Table{
+		Name: "orders",
+		Columns: []Column{
+			{Name: "o_orderkey", Type: Int, Width: 8},
+			{Name: "o_custkey", Type: Int, Width: 8},
+			{Name: "o_totalprice", Type: Float, Width: 8},
+		},
+		PrimaryKey: []string{"o_orderkey"},
+		Stats: TableStats{
+			Rows: 15000,
+			Columns: map[string]ColumnStats{
+				"o_orderkey": {Distinct: 15000, Min: 1, Max: 15000},
+				"o_custkey":  {Distinct: 1000, Min: 1, Max: 1000},
+			},
+		},
+	})
+	c.AddTable(&Table{
+		Name: "customer",
+		Columns: []Column{
+			{Name: "c_custkey", Type: Int, Width: 8},
+			{Name: "c_name", Type: String, Width: 20},
+		},
+		PrimaryKey: []string{"c_custkey"},
+		Stats:      TableStats{Rows: 1000},
+	})
+	return c
+}
+
+func TestAddAndLookupTable(t *testing.T) {
+	c := sample()
+	tab, ok := c.Table("orders")
+	if !ok || tab.Name != "orders" {
+		t.Fatalf("lookup failed")
+	}
+	if _, ok := c.Table("nope"); ok {
+		t.Errorf("missing table should not be found")
+	}
+	if got := c.Tables(); len(got) != 2 || got[0] != "orders" {
+		t.Errorf("Tables() order: %v", got)
+	}
+}
+
+func TestDuplicateTablePanics(t *testing.T) {
+	c := sample()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("duplicate AddTable should panic")
+		}
+	}()
+	c.AddTable(&Table{Name: "orders", Columns: []Column{{Name: "x"}}})
+}
+
+func TestRowWidthAndColumnLookup(t *testing.T) {
+	c := sample()
+	tab := c.MustTable("orders")
+	if tab.RowWidth() != 24 {
+		t.Errorf("RowWidth = %d, want 24", tab.RowWidth())
+	}
+	col, ok := tab.Column("o_custkey")
+	if !ok || col.Type != Int {
+		t.Errorf("Column lookup failed: %v %v", col, ok)
+	}
+	if tab.ColumnIndex("o_totalprice") != 2 {
+		t.Errorf("ColumnIndex wrong")
+	}
+	if tab.ColumnIndex("nope") != -1 {
+		t.Errorf("missing column index should be -1")
+	}
+}
+
+func TestDistinctOfFallsBackToRows(t *testing.T) {
+	c := sample()
+	tab := c.MustTable("orders")
+	if tab.DistinctOf("o_custkey") != 1000 {
+		t.Errorf("recorded distinct should be used")
+	}
+	if tab.DistinctOf("o_totalprice") != 15000 {
+		t.Errorf("fallback should be row count, got %d", tab.DistinctOf("o_totalprice"))
+	}
+}
+
+func TestIndexLifecycle(t *testing.T) {
+	c := sample()
+	c.AddIndex(Index{Name: "pk", Table: "orders", Columns: []string{"o_orderkey"}, Unique: true})
+	c.AddIndex(Index{Name: "ix", Table: "orders", Columns: []string{"o_custkey"}})
+	if !c.HasIndex("orders", "o_orderkey") || !c.HasIndex("orders", "o_custkey") {
+		t.Errorf("indexes should be visible")
+	}
+	if c.HasIndex("customer", "c_custkey") {
+		t.Errorf("no index declared on customer")
+	}
+	// Idempotent re-add.
+	c.AddIndex(Index{Name: "dup", Table: "orders", Columns: []string{"o_custkey"}})
+	if len(c.Indexes()) != 2 {
+		t.Errorf("re-adding same definition should not duplicate: %v", c.Indexes())
+	}
+	c.DropIndex("orders", []string{"o_custkey"})
+	if c.HasIndex("orders", "o_custkey") {
+		t.Errorf("dropped index should be gone")
+	}
+}
+
+func TestForeignKeys(t *testing.T) {
+	c := sample()
+	c.AddForeignKey(ForeignKey{
+		Table: "orders", Columns: []string{"o_custkey"},
+		RefTable: "customer", RefColumns: []string{"c_custkey"},
+	})
+	if !c.IsForeignKeyInto("orders", "o_custkey", "customer") {
+		t.Errorf("FK should be detected")
+	}
+	if c.IsForeignKeyInto("orders", "o_orderkey", "customer") {
+		t.Errorf("o_orderkey is not an FK column")
+	}
+	if c.IsForeignKeyInto("customer", "c_custkey", "orders") {
+		t.Errorf("direction matters")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := sample()
+	c.AddIndex(Index{Name: "pk", Table: "orders", Columns: []string{"o_orderkey"}})
+	cl := c.Clone()
+	cl.MustTable("orders").Stats.Rows = 1
+	cl.AddIndex(Index{Name: "extra", Table: "customer", Columns: []string{"c_custkey"}})
+	if c.MustTable("orders").Stats.Rows != 15000 {
+		t.Errorf("clone mutated original stats")
+	}
+	if c.HasIndex("customer", "c_custkey") {
+		t.Errorf("clone index leaked into original")
+	}
+	if !cl.HasIndex("orders", "o_orderkey") {
+		t.Errorf("clone should inherit indexes")
+	}
+}
+
+func TestIndexKeyCanonical(t *testing.T) {
+	f := func(a, b string) bool {
+		i1 := Index{Name: a, Table: "t", Columns: []string{"x", "y"}}
+		i2 := Index{Name: b, Table: "t", Columns: []string{"x", "y"}}
+		return i1.Key() == i2.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if Int.String() != "INT" || Float.String() != "FLOAT" ||
+		String.String() != "VARCHAR" || Date.String() != "DATE" {
+		t.Errorf("type names wrong")
+	}
+}

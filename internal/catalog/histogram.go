@@ -1,0 +1,88 @@
+package catalog
+
+import "fmt"
+
+// Histogram is an equi-width histogram over a numeric column, used by the
+// cost estimator for range-predicate selectivity when present (falling back
+// to the uniform min/max interpolation otherwise). Real optimizers — and
+// the Volcano derivative the paper builds on — estimate selectivities from
+// catalog statistics of exactly this kind.
+type Histogram struct {
+	// Lo and Hi bound the histogram's range; values outside contribute to
+	// the edge buckets.
+	Lo, Hi float64
+	// Counts holds per-bucket row counts; bucket i spans
+	// [Lo + i*w, Lo + (i+1)*w) with w = (Hi−Lo)/len(Counts).
+	Counts []float64
+	total  float64
+}
+
+// NewHistogram builds an empty histogram with the given bucket count.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets < 1 || hi <= lo {
+		panic(fmt.Sprintf("catalog: invalid histogram [%g,%g) x%d", lo, hi, buckets))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]float64, buckets)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(v float64) {
+	h.Counts[h.bucket(v)]++
+	h.total++
+}
+
+func (h *Histogram) bucket(v float64) int {
+	if v < h.Lo {
+		return 0
+	}
+	if v >= h.Hi {
+		return len(h.Counts) - 1
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	i := int((v - h.Lo) / w)
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	return i
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() float64 { return h.total }
+
+// FracBelow estimates the fraction of values strictly below v, interpolating
+// linearly within the containing bucket.
+func (h *Histogram) FracBelow(v float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if v <= h.Lo {
+		return 0
+	}
+	if v >= h.Hi {
+		return 1
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	i := h.bucket(v)
+	below := 0.0
+	for j := 0; j < i; j++ {
+		below += h.Counts[j]
+	}
+	frac := (v - (h.Lo + float64(i)*w)) / w
+	below += h.Counts[i] * frac
+	return below / h.total
+}
+
+// FracEq estimates the fraction of values equal to v: the containing
+// bucket's mass spread uniformly over the recorded distinct count per
+// bucket (approximated as bucket width for integer domains).
+func (h *Histogram) FracEq(v float64, columnDistinct int64) float64 {
+	if h.total == 0 || v < h.Lo || v > h.Hi {
+		return 0
+	}
+	bucketMass := h.Counts[h.bucket(v)] / h.total
+	perBucketDistinct := float64(columnDistinct) / float64(len(h.Counts))
+	if perBucketDistinct < 1 {
+		perBucketDistinct = 1
+	}
+	return bucketMass / perBucketDistinct
+}

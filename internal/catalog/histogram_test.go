@@ -1,0 +1,92 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramUniform(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	if h.Total() != 1000 {
+		t.Fatalf("total = %g", h.Total())
+	}
+	if got := h.FracBelow(50); math.Abs(got-0.5) > 0.02 {
+		t.Errorf("FracBelow(50) = %g, want ~0.5", got)
+	}
+	if got := h.FracBelow(0); got != 0 {
+		t.Errorf("FracBelow(lo) should be 0, got %g", got)
+	}
+	if got := h.FracBelow(100); got != 1 {
+		t.Errorf("FracBelow(hi) should be 1, got %g", got)
+	}
+}
+
+func TestHistogramSkew(t *testing.T) {
+	// 90% of mass in [0,10): a range predicate v<10 should see ~0.9, far from
+	// the uniform interpolation's 0.1.
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 900; i++ {
+		h.Add(float64(i % 10))
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(float64(10 + i%90))
+	}
+	if got := h.FracBelow(10); math.Abs(got-0.9) > 0.02 {
+		t.Errorf("skewed FracBelow(10) = %g, want ~0.9", got)
+	}
+}
+
+func TestHistogramFracEq(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	// 100 distinct values, 10 per bucket, uniform: each value ≈ 1/100.
+	if got := h.FracEq(42, 100); math.Abs(got-0.01) > 0.003 {
+		t.Errorf("FracEq = %g, want ~0.01", got)
+	}
+	if h.FracEq(-5, 100) != 0 || h.FracEq(200, 100) != 0 {
+		t.Errorf("out-of-range equality should be 0")
+	}
+}
+
+func TestHistogramFracBelowMonotone(t *testing.T) {
+	h := NewHistogram(0, 1000, 17)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		h.Add(r.Float64() * 1000)
+	}
+	f := func(a, b uint16) bool {
+		x, y := float64(a%1000), float64(b%1000)
+		if x > y {
+			x, y = y, x
+		}
+		return h.FracBelow(x) <= h.FracBelow(y)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramEdgeClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.Add(-100) // below range → first bucket
+	h.Add(100)  // above range → last bucket
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("edge values should clamp to edge buckets: %v", h.Counts)
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("invalid histogram should panic")
+		}
+	}()
+	NewHistogram(10, 10, 5)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+	"repro/internal/diff"
+	"repro/internal/greedy"
+	"repro/internal/tpcd"
+)
+
+func TestAddViewValidation(t *testing.T) {
+	cat := tpcd.NewCatalog(0.01, true)
+	s := NewSystem(cat, Options{})
+	if _, err := s.AddView("good", tpcd.ViewJoin4(cat)); err != nil {
+		t.Fatalf("valid view rejected: %v", err)
+	}
+	// Self-join must surface as an error, not a panic.
+	bad := algebra.NewJoin(
+		algebra.And(algebra.Eq("nation.n_nationkey", "nation.n_regionkey")),
+		algebra.NewScan(cat, "nation"), algebra.NewScan(cat, "nation"))
+	if _, err := s.AddView("bad", bad); err == nil {
+		t.Errorf("self-join should be rejected with an error")
+	}
+}
+
+func TestNoGreedyChoosesPerViewModes(t *testing.T) {
+	cat := tpcd.NewCatalog(0.1, true)
+	s := NewSystem(cat, Options{})
+	if _, err := s.AddView("j4", tpcd.ViewJoin4(cat)); err != nil {
+		t.Fatal(err)
+	}
+	low := s.OptimizeNoGreedy(diff.UniformPercent(cat, tpcd.UpdatedRelations(), 1))
+	high := s.OptimizeNoGreedy(diff.UniformPercent(cat, tpcd.UpdatedRelations(), 80))
+	if low.TotalCost <= 0 || high.TotalCost <= 0 {
+		t.Fatalf("costs must be positive: %g %g", low.TotalCost, high.TotalCost)
+	}
+	if high.TotalCost < low.TotalCost {
+		t.Errorf("more updates should not cost less: %g vs %g", high.TotalCost, low.TotalCost)
+	}
+}
+
+func TestGreedyBeatsNoGreedy(t *testing.T) {
+	cat := tpcd.NewCatalog(0.1, true)
+	s := NewSystem(cat, Options{})
+	for _, v := range tpcd.ViewSet5(cat, false) {
+		if _, err := s.AddView(v.Name, v.Def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := diff.UniformPercent(cat, tpcd.UpdatedRelations(), 5)
+	ng := s.OptimizeNoGreedy(u)
+	g := s.OptimizeGreedy(u, greedy.DefaultConfig())
+	if g.TotalCost > ng.TotalCost+1e-9 {
+		t.Errorf("greedy must never lose to the baseline: %g vs %g", g.TotalCost, ng.TotalCost)
+	}
+	if g.Greedy == nil || g.Greedy.InitialCost != ng.TotalCost {
+		t.Errorf("greedy initial cost should equal the baseline: %v", g.Greedy)
+	}
+}
+
+func TestReportMentionsChoices(t *testing.T) {
+	cat := tpcd.NewCatalog(0.1, true)
+	s := NewSystem(cat, Options{})
+	for _, v := range tpcd.ViewSet5(cat, true) {
+		if _, err := s.AddView(v.Name, v.Def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := s.OptimizeGreedy(diff.UniformPercent(cat, tpcd.UpdatedRelations(), 5), greedy.DefaultConfig())
+	rep := p.Report()
+	if !strings.Contains(rep, "maintenance plan") || !strings.Contains(rep, "greedy:") {
+		t.Errorf("report incomplete:\n%s", rep)
+	}
+	for _, vp := range p.Views {
+		if !strings.Contains(rep, vp.View.Name) {
+			t.Errorf("report missing view %s", vp.View.Name)
+		}
+	}
+}
+
+func TestEndToEndRuntimeRefreshAndVerify(t *testing.T) {
+	const sf = 0.002
+	cat := tpcd.NewCatalog(sf, true)
+	db := tpcd.Generate(cat, sf, 42)
+	s := NewSystem(cat, Options{})
+	if _, err := s.AddView("j4", tpcd.ViewJoin4(cat)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddView("a4", tpcd.ViewAgg4(cat)); err != nil {
+		t.Fatal(err)
+	}
+	u := diff.UniformPercent(cat, []string{"orders", "lineitem", "customer"}, 10)
+	plan := s.OptimizeGreedy(u, greedy.DefaultConfig())
+	rt := plan.NewRuntime(db)
+
+	tpcd.LogUniformUpdates(cat, db, []string{"orders", "lineitem", "customer"}, 10, 7)
+	rt.Refresh()
+	if err := rt.Verify(); err != nil {
+		t.Fatalf("maintained views diverged: %v", err)
+	}
+	if rt.ViewRows(plan.Views[0].View).Len() == 0 {
+		t.Errorf("join view should not be empty after refresh")
+	}
+}
+
+func TestEndToEndNoGreedyRuntime(t *testing.T) {
+	const sf = 0.002
+	cat := tpcd.NewCatalog(sf, true)
+	db := tpcd.Generate(cat, sf, 43)
+	s := NewSystem(cat, Options{})
+	for _, v := range tpcd.ViewSet5(cat, true)[:3] {
+		if _, err := s.AddView(v.Name, v.Def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := diff.UniformPercent(cat, []string{"orders", "lineitem"}, 20)
+	plan := s.OptimizeNoGreedy(u)
+	rt := plan.NewRuntime(db)
+	tpcd.LogUniformUpdates(cat, db, []string{"orders", "lineitem"}, 20, 9)
+	rt.Refresh()
+	if err := rt.Verify(); err != nil {
+		t.Fatalf("baseline maintenance diverged: %v", err)
+	}
+}
+
+func TestExplainRendersAllViews(t *testing.T) {
+	cat := tpcd.NewCatalog(0.1, true)
+	s := NewSystem(cat, Options{})
+	if _, err := s.AddView("j4", tpcd.ViewJoin4(cat)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddView("a4", tpcd.ViewAgg4(cat)); err != nil {
+		t.Fatal(err)
+	}
+	u := diff.UniformPercent(cat, []string{"orders", "lineitem"}, 2)
+	plan := s.OptimizeGreedy(u, greedy.DefaultConfig())
+	out := plan.Explain()
+	for _, name := range []string{"j4", "a4"} {
+		if !strings.Contains(out, "view "+name) {
+			t.Errorf("explain missing view %s:\n%s", name, out)
+		}
+	}
+	// Either recompute plans (scan/join trees) or incremental differentials
+	// must appear.
+	if !strings.Contains(out, "scan ") && !strings.Contains(out, "δ") {
+		t.Errorf("explain shows no plan structure:\n%s", out)
+	}
+}
+
+func TestBufferSizeChangesCosts(t *testing.T) {
+	cat := tpcd.NewCatalog(0.1, true)
+	mkPlan := func(p cost.Params) float64 {
+		s := NewSystem(cat, Options{Params: p})
+		for _, v := range tpcd.ViewSet5(cat, false) {
+			if _, err := s.AddView(v.Name, v.Def); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.OptimizeNoGreedy(diff.UniformPercent(cat, tpcd.UpdatedRelations(), 10)).TotalCost
+	}
+	big := mkPlan(cost.Default())
+	small := mkPlan(cost.SmallBuffer())
+	if small < big {
+		t.Errorf("a smaller buffer must not make plans cheaper: %g vs %g", small, big)
+	}
+}

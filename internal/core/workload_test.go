@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diff"
+	"repro/internal/greedy"
+	"repro/internal/tpcd"
+	"repro/internal/viewdef"
+)
+
+func TestOptimizeWorkloadQueriesBenefit(t *testing.T) {
+	cat := tpcd.NewCatalog(0.1, true)
+	s := NewSystem(cat, Options{})
+	// One maintained view plus a hot ad-hoc query sharing its backbone.
+	if _, err := s.AddView("j4", tpcd.ViewJoin4(cat)); err != nil {
+		t.Fatal(err)
+	}
+	q := viewdef.MustParse(cat, `
+		SELECT customer.c_nationkey, COUNT(*)
+		FROM orders, customer
+		WHERE orders.o_custkey = customer.c_custkey AND orders.o_orderdate < 255
+		GROUP BY customer.c_nationkey`)
+	if _, err := s.AddQuery("hot", q, 100); err != nil {
+		t.Fatal(err)
+	}
+	u := diff.UniformPercent(cat, tpcd.UpdatedRelations(), 1)
+	plan := s.OptimizeWorkload(u, greedy.DefaultConfig())
+	if len(plan.Queries) != 1 {
+		t.Fatalf("query plan missing")
+	}
+	if plan.Greedy.FinalCost > plan.Greedy.InitialCost {
+		t.Errorf("workload tuning must not hurt")
+	}
+	// The hot query times 100 dominates: selection should cut the workload
+	// substantially, not marginally.
+	if plan.Greedy.FinalCost > plan.Greedy.InitialCost*0.8 {
+		t.Errorf("expected ≥20%% workload improvement: %g → %g",
+			plan.Greedy.InitialCost, plan.Greedy.FinalCost)
+	}
+	if !strings.Contains(plan.Report(), "hot") {
+		t.Errorf("report should mention the query")
+	}
+}
+
+func TestAddQueryValidation(t *testing.T) {
+	cat := tpcd.NewCatalog(0.01, true)
+	s := NewSystem(cat, Options{})
+	q := viewdef.MustParse(cat, `SELECT * FROM orders`)
+	got, err := s.AddQuery("q", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Weight != 1 {
+		t.Errorf("non-positive weight should default to 1, got %g", got.Weight)
+	}
+	s.prepare()
+	if _, err := s.AddQuery("late", q, 1); err == nil {
+		t.Errorf("queries after prepare should be rejected")
+	}
+}
+
+func TestWorkloadSharesMaterializationAcrossViewAndQuery(t *testing.T) {
+	cat := tpcd.NewCatalog(0.1, true)
+	s := NewSystem(cat, Options{})
+	for _, v := range tpcd.ViewSet5(cat, true)[:2] {
+		if _, err := s.AddView(v.Name, v.Def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := viewdef.MustParse(cat, `
+		SELECT orders.o_orderdate, SUM(lineitem.l_extendedprice) AS rev
+		FROM lineitem, orders
+		WHERE lineitem.l_orderkey = orders.o_orderkey AND orders.o_orderdate < 255
+		GROUP BY orders.o_orderdate`)
+	if _, err := s.AddQuery("daily_rev", q, 20); err != nil {
+		t.Fatal(err)
+	}
+	u := diff.UniformPercent(cat, tpcd.UpdatedRelations(), 5)
+	with := s.OptimizeWorkload(u, greedy.DefaultConfig())
+	if with.Queries[0].Cost <= 0 {
+		t.Errorf("query cost should be positive")
+	}
+}

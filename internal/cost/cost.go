@@ -1,0 +1,230 @@
+// Package cost implements the optimizer's cost model and cardinality
+// estimation. Following the paper (§7.1), the model accounts for the number
+// of seeks, the amount of data read, the amount of data written, and CPU
+// time for in-memory processing, and it is buffer-aware: hash joins and hash
+// aggregations whose build input no longer fits in the buffer pool switch to
+// partitioned (Grace-style) variants with extra I/O — this produces the
+// characteristic cost "jump" visible in the paper's Figure 4.
+//
+// Conventions: costs are in seconds. Operator costs are *local*: a child's
+// production cost is paid by the child (scans pay their own disk reads;
+// intermediate results are pipelined). Reading a materialized result and
+// writing one out are explicit costs (ReadCost / WriteCost).
+package cost
+
+import "math"
+
+// Params are the tunable constants of the cost model. Defaults approximate
+// the paper's setup: 4 KB blocks, an 8000-block buffer (32 MB), late-1990s
+// disk characteristics.
+type Params struct {
+	BlockSize    int     // bytes per block
+	BufferBlocks int64   // buffer pool size in blocks
+	SeekTime     float64 // seconds per random seek
+	TransferTime float64 // seconds to transfer one block
+	CPUTuple     float64 // seconds of CPU per tuple touched
+	// HashFudge derates usable memory for hash tables (per-entry overhead).
+	HashFudge float64
+}
+
+// Default returns the baseline parameters used throughout the benchmarks.
+func Default() Params {
+	return Params{
+		BlockSize:    4096,
+		BufferBlocks: 8000,
+		SeekTime:     0.008,
+		TransferTime: 0.0002, // ~20 MB/s sequential
+		CPUTuple:     0.25e-6,
+		HashFudge:    1.2,
+	}
+}
+
+// SmallBuffer returns the 1000-block configuration from the paper's
+// buffer-size experiment (§7.2, "Effect of Buffer Size").
+func SmallBuffer() Params {
+	p := Default()
+	p.BufferBlocks = 1000
+	return p
+}
+
+// Model computes operator costs under fixed parameters.
+type Model struct {
+	P Params
+}
+
+// NewModel wraps parameters in a model.
+func NewModel(p Params) *Model { return &Model{P: p} }
+
+// Blocks converts a (rows, width) volume into blocks, at least 1 for any
+// non-empty input.
+func (m *Model) Blocks(rows float64, width int) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	b := rows * float64(width) / float64(m.P.BlockSize)
+	if b < 1 {
+		return 1
+	}
+	return b
+}
+
+// fitsInMemory reports whether a hash table over the given volume fits in the
+// buffer pool (with fudge for hash-table overhead).
+func (m *Model) fitsInMemory(rows float64, width int) bool {
+	return m.Blocks(rows, width)*m.P.HashFudge <= float64(m.P.BufferBlocks)
+}
+
+// ScanCost is the cost of reading a stored relation sequentially.
+func (m *Model) ScanCost(rows float64, width int) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	return m.P.SeekTime + m.Blocks(rows, width)*m.P.TransferTime + rows*m.P.CPUTuple
+}
+
+// ReadCost is the cost of reusing a materialized result: one sequential read.
+func (m *Model) ReadCost(rows float64, width int) float64 {
+	return m.ScanCost(rows, width)
+}
+
+// WriteCost is the cost of materializing (writing out) a result.
+func (m *Model) WriteCost(rows float64, width int) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	return m.P.SeekTime + m.Blocks(rows, width)*m.P.TransferTime + rows*m.P.CPUTuple
+}
+
+// SelectCost is the CPU cost of filtering a pipelined input.
+func (m *Model) SelectCost(inRows float64) float64 {
+	return inRows * m.P.CPUTuple
+}
+
+// ProjectCost is the CPU cost of projecting a pipelined input.
+func (m *Model) ProjectCost(inRows float64) float64 {
+	return inRows * m.P.CPUTuple
+}
+
+// HashJoinCost is the local cost of a hash join: build on the smaller input,
+// probe with the larger. When the build side exceeds memory the join
+// partitions both inputs to disk and re-reads them (2 extra transfers of each
+// input's volume), which is the discontinuity the paper observes.
+func (m *Model) HashJoinCost(lRows float64, lWidth int, rRows float64, rWidth int, outRows float64) float64 {
+	if lRows <= 0 || rRows <= 0 {
+		return 0
+	}
+	buildRows, buildWidth := lRows, lWidth
+	if rRows*float64(rWidth) < lRows*float64(lWidth) {
+		buildRows, buildWidth = rRows, rWidth
+	}
+	cpu := (lRows + rRows + outRows) * m.P.CPUTuple * 2
+	if m.fitsInMemory(buildRows, buildWidth) {
+		return cpu
+	}
+	spill := 2 * (m.Blocks(lRows, lWidth) + m.Blocks(rRows, rWidth)) * m.P.TransferTime
+	seeks := 2 * m.P.SeekTime * math.Max(1, (m.Blocks(lRows, lWidth)+m.Blocks(rRows, rWidth))/float64(m.P.BufferBlocks))
+	return cpu + spill + seeks
+}
+
+// IndexJoinCost is the local cost of an index nested-loop join: the outer is
+// pipelined, each outer tuple probes an index on the stored inner. If the
+// inner relation fits in the buffer pool, probes are CPU-only after the first
+// faulting reads; otherwise every probe pays a seek plus one block read.
+func (m *Model) IndexJoinCost(outerRows float64, innerRows float64, innerWidth int, outRows float64) float64 {
+	if outerRows <= 0 {
+		return 0
+	}
+	cpu := outerRows*m.P.CPUTuple*4 + outRows*m.P.CPUTuple
+	if m.fitsInMemory(innerRows, innerWidth) {
+		// Inner cached after cold reads; charge the cold read once.
+		return cpu + m.Blocks(innerRows, innerWidth)*m.P.TransferTime + m.P.SeekTime
+	}
+	io := outerRows * (m.P.SeekTime + m.P.TransferTime)
+	return cpu + io
+}
+
+// NLJoinCost is a blocked nested-loop join used as a fallback when no hash
+// or index variant applies (e.g. non-equi predicates).
+func (m *Model) NLJoinCost(lRows float64, lWidth int, rRows float64, rWidth int, outRows float64) float64 {
+	if lRows <= 0 || rRows <= 0 {
+		return 0
+	}
+	outerBlocks := m.Blocks(lRows, lWidth)
+	passes := math.Ceil(outerBlocks / math.Max(1, float64(m.P.BufferBlocks)-2))
+	cpu := lRows*rRows*m.P.CPUTuple*0.25 + outRows*m.P.CPUTuple
+	io := passes * m.Blocks(rRows, rWidth) * m.P.TransferTime
+	return cpu + io
+}
+
+// AggCost is the local cost of hash aggregation producing the given number of
+// groups; it partitions to disk when the group table exceeds memory.
+func (m *Model) AggCost(inRows float64, inWidth int, groups float64, groupWidth int) float64 {
+	if inRows <= 0 {
+		return 0
+	}
+	cpu := inRows*m.P.CPUTuple*2 + groups*m.P.CPUTuple
+	if m.fitsInMemory(groups, groupWidth) {
+		return cpu
+	}
+	spill := 2 * m.Blocks(inRows, inWidth) * m.P.TransferTime
+	return cpu + spill + m.P.SeekTime
+}
+
+// UnionCost is the CPU cost of concatenating pipelined multiset inputs.
+func (m *Model) UnionCost(rows float64) float64 {
+	return rows * m.P.CPUTuple
+}
+
+// MinusCost is the cost of multiset difference implemented by hashing the
+// subtrahend.
+func (m *Model) MinusCost(lRows float64, rRows float64, width int) float64 {
+	cpu := (lRows + rRows) * m.P.CPUTuple * 2
+	if m.fitsInMemory(rRows, width) {
+		return cpu
+	}
+	return cpu + 2*(m.Blocks(lRows, width)+m.Blocks(rRows, width))*m.P.TransferTime
+}
+
+// DedupCost is hash-based duplicate elimination.
+func (m *Model) DedupCost(inRows float64, width int, outRows float64) float64 {
+	return m.AggCost(inRows, width, outRows, width)
+}
+
+// MergeCost is the cost of folding a computed differential into a stored
+// result of the given size. With an index on the stored result the merge
+// probes per delta tuple; without one it must scan and rewrite the stored
+// result — which is exactly why index selection matters for maintenance
+// (paper §7.2, Figure 5).
+func (m *Model) MergeCost(deltaRows float64, storedRows float64, width int, indexed bool) float64 {
+	if deltaRows <= 0 {
+		return 0
+	}
+	if indexed {
+		perProbe := m.P.CPUTuple * 4
+		if !m.fitsInMemory(storedRows, width) {
+			perProbe += m.P.SeekTime + m.P.TransferTime
+		}
+		return deltaRows*perProbe + m.Blocks(deltaRows, width)*m.P.TransferTime
+	}
+	// One pass over the stored result to locate deletions in place, plus
+	// appending the inserts and rewriting the touched blocks.
+	return 2*m.P.SeekTime +
+		m.Blocks(storedRows, width)*m.P.TransferTime +
+		m.Blocks(deltaRows, width)*m.P.TransferTime +
+		(storedRows+deltaRows)*m.P.CPUTuple
+}
+
+// IndexBuildCost is the cost of building an index over a stored result.
+func (m *Model) IndexBuildCost(rows float64, width int) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	sortCPU := rows * math.Log2(math.Max(2, rows)) * m.P.CPUTuple
+	return m.ScanCost(rows, width) + sortCPU + m.WriteCost(rows, 12)
+}
+
+// IndexMaintCost is the cost of keeping an index up to date across a batch of
+// deltaRows insertions/deletions.
+func (m *Model) IndexMaintCost(deltaRows float64) float64 {
+	return deltaRows * m.P.CPUTuple * 6
+}

@@ -1,0 +1,261 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+)
+
+func model() *Model { return NewModel(Default()) }
+
+func TestBlocksRounding(t *testing.T) {
+	m := model()
+	if m.Blocks(0, 100) != 0 {
+		t.Errorf("zero rows → zero blocks")
+	}
+	if m.Blocks(1, 10) != 1 {
+		t.Errorf("tiny input rounds up to one block")
+	}
+	if got := m.Blocks(1024, 4096); got != 1024 {
+		t.Errorf("1024 full blocks expected, got %v", got)
+	}
+}
+
+func TestScanCostMonotoneInRows(t *testing.T) {
+	m := model()
+	f := func(a, b uint32) bool {
+		ra, rb := float64(a%1000000), float64(b%1000000)
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		return m.ScanCost(ra, 100) <= m.ScanCost(rb, 100)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashJoinMemoryJump(t *testing.T) {
+	m := model()
+	// Build side just fits: buffer 8000 blocks * 4KB = 32MB; width 100 bytes.
+	fitRows := float64(200000) // 20MB < 32MB/1.2
+	spillRows := float64(2e6)  // 200MB >> buffer
+	inMem := m.HashJoinCost(fitRows, 100, 1e6, 100, 1e6)
+	spilled := m.HashJoinCost(spillRows, 100, 1e6, 100, 1e6)
+	// Per-row cost must jump discontinuously, not just scale with rows.
+	if spilled/spillRows <= inMem/fitRows*1.5 {
+		t.Errorf("partitioned hash join should cost disproportionately more: %g vs %g",
+			spilled/spillRows, inMem/fitRows)
+	}
+}
+
+func TestHashJoinBuildsOnSmaller(t *testing.T) {
+	m := model()
+	// One side huge, other tiny: cost should be the same regardless of order.
+	a := m.HashJoinCost(10, 8, 1e7, 100, 100)
+	b := m.HashJoinCost(1e7, 100, 10, 8, 100)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("hash join should be symmetric via build-side choice: %g vs %g", a, b)
+	}
+	// And a tiny build side must stay in memory (cheap).
+	if a > 20 {
+		t.Errorf("10-row build side should be in-memory cheap, got %g", a)
+	}
+}
+
+func TestIndexJoinBeatsHashForTinyOuter(t *testing.T) {
+	m := model()
+	// 100 delta tuples probing an indexed 1M-row relation should beat
+	// hash-joining the full relation.
+	ij := m.IndexJoinCost(100, 1e6, 100, 100)
+	hj := m.HashJoinCost(100, 100, 1e6, 100, 100) + m.ScanCost(1e6, 100)
+	if ij >= hj {
+		t.Errorf("index NL join should win for tiny outer: %g vs %g", ij, hj)
+	}
+}
+
+func TestMergeCostIndexedVsScan(t *testing.T) {
+	m := model()
+	withIx := m.MergeCost(100, 1e6, 100, true)
+	noIx := m.MergeCost(100, 1e6, 100, false)
+	if withIx >= noIx {
+		t.Errorf("indexed merge should beat scan-rewrite: %g vs %g", withIx, noIx)
+	}
+	if m.MergeCost(0, 1e6, 100, false) != 0 {
+		t.Errorf("empty delta merge should be free")
+	}
+}
+
+func TestSmallBufferRaisesSpillCosts(t *testing.T) {
+	big := NewModel(Default())
+	small := NewModel(SmallBuffer())
+	rows := float64(300000) // 30MB at width 100: fits 8000 blocks, not 1000
+	cBig := big.HashJoinCost(rows, 100, rows, 100, rows)
+	cSmall := small.HashJoinCost(rows, 100, rows, 100, rows)
+	if cSmall <= cBig {
+		t.Errorf("smaller buffer should cost more: %g vs %g", cSmall, cBig)
+	}
+}
+
+func TestAggCostSpills(t *testing.T) {
+	m := model()
+	inMem := m.AggCost(1e6, 100, 100, 50)
+	spill := m.AggCost(1e6, 100, 5e6, 50)
+	if spill <= inMem {
+		t.Errorf("aggregation over too many groups should spill: %g vs %g", spill, inMem)
+	}
+}
+
+// --- estimation ---
+
+func estCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	cat.AddTable(&catalog.Table{
+		Name: "orders",
+		Columns: []catalog.Column{
+			{Name: "o_orderkey", Type: catalog.Int, Width: 8},
+			{Name: "o_custkey", Type: catalog.Int, Width: 8},
+			{Name: "o_price", Type: catalog.Float, Width: 8},
+		},
+		PrimaryKey: []string{"o_orderkey"},
+		Stats: catalog.TableStats{
+			Rows: 10000,
+			Columns: map[string]catalog.ColumnStats{
+				"o_orderkey": {Distinct: 10000, Min: 1, Max: 10000},
+				"o_custkey":  {Distinct: 1000, Min: 1, Max: 1000},
+				"o_price":    {Distinct: 5000, Min: 0, Max: 100},
+			},
+		},
+	})
+	cat.AddTable(&catalog.Table{
+		Name: "customer",
+		Columns: []catalog.Column{
+			{Name: "c_custkey", Type: catalog.Int, Width: 8},
+		},
+		PrimaryKey: []string{"c_custkey"},
+		Stats: catalog.TableStats{
+			Rows: 1000,
+			Columns: map[string]catalog.ColumnStats{
+				"c_custkey": {Distinct: 1000, Min: 1, Max: 1000},
+			},
+		},
+	})
+	return cat
+}
+
+func TestEquiJoinCardinality(t *testing.T) {
+	e := NewEstimator(estCatalog())
+	rows := e.JoinRows(
+		[]string{"orders", "customer"}, nil,
+		[]algebra.Cmp{algebra.Eq("orders.o_custkey", "customer.c_custkey")})
+	// 10000 * 1000 / max(1000,1000) = 10000: every order joins one customer.
+	if math.Abs(rows-10000) > 1 {
+		t.Errorf("FK join should preserve orders cardinality: got %g", rows)
+	}
+}
+
+func TestDeltaSubstitutionScalesLinearly(t *testing.T) {
+	e := NewEstimator(estCatalog())
+	eff := map[string]float64{"orders": 100} // δ+ holds 1% of orders
+	rows := e.JoinRows(
+		[]string{"orders", "customer"}, eff,
+		[]algebra.Cmp{algebra.Eq("orders.o_custkey", "customer.c_custkey")})
+	if math.Abs(rows-100) > 1 {
+		t.Errorf("delta join should scale linearly: got %g", rows)
+	}
+}
+
+func TestRangeSelectivity(t *testing.T) {
+	e := NewEstimator(estCatalog())
+	sel := e.Selectivity(algebra.CmpConst("orders.o_price", algebra.LT, algebra.NewFloat(25)), nil)
+	if math.Abs(sel-0.25) > 0.01 {
+		t.Errorf("price<25 over [0,100] should be ~0.25, got %g", sel)
+	}
+	sel = e.Selectivity(algebra.CmpConst("orders.o_price", algebra.GE, algebra.NewFloat(75)), nil)
+	if math.Abs(sel-0.25) > 0.01 {
+		t.Errorf("price>=75 should be ~0.25, got %g", sel)
+	}
+}
+
+func TestEqualitySelectivity(t *testing.T) {
+	e := NewEstimator(estCatalog())
+	sel := e.Selectivity(algebra.CmpConst("orders.o_custkey", algebra.EQ, algebra.NewInt(5)), nil)
+	if math.Abs(sel-0.001) > 1e-6 {
+		t.Errorf("1/distinct expected, got %g", sel)
+	}
+	ne := e.Selectivity(algebra.CmpConst("orders.o_custkey", algebra.NE, algebra.NewInt(5)), nil)
+	if math.Abs(ne-0.999) > 1e-6 {
+		t.Errorf("NE should complement EQ, got %g", ne)
+	}
+}
+
+func TestGroupCountCappedByInput(t *testing.T) {
+	e := NewEstimator(estCatalog())
+	g := e.GroupCount([]string{"orders.o_custkey"}, 50, nil)
+	if g != 50 {
+		t.Errorf("groups capped by input rows: got %g", g)
+	}
+	g = e.GroupCount([]string{"orders.o_custkey"}, 1e6, nil)
+	if g != 1000 {
+		t.Errorf("groups bounded by distinct count: got %g", g)
+	}
+	if e.GroupCount(nil, 100, nil) != 1 {
+		t.Errorf("global aggregate has one group")
+	}
+	if e.GroupCount(nil, 0, nil) != 0 {
+		t.Errorf("empty input has zero groups")
+	}
+}
+
+func TestSelectivityClampedPositive(t *testing.T) {
+	e := NewEstimator(estCatalog())
+	sel := e.Selectivity(algebra.CmpConst("orders.o_price", algebra.LT, algebra.NewFloat(-10)), nil)
+	if sel <= 0 {
+		t.Errorf("selectivity must stay positive, got %g", sel)
+	}
+}
+
+func TestHistogramOverridesUniformSelectivity(t *testing.T) {
+	cat := estCatalog()
+	// Skew o_price: 90% of rows below 10 (range is [0,100]).
+	h := catalog.NewHistogram(0, 100, 10)
+	for i := 0; i < 900; i++ {
+		h.Add(float64(i % 10))
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(float64(10 + i%90))
+	}
+	cs := cat.MustTable("orders").Stats.Columns["o_price"]
+	cs.Hist = h
+	cat.MustTable("orders").Stats.Columns["o_price"] = cs
+
+	e := NewEstimator(cat)
+	sel := e.Selectivity(algebra.CmpConst("orders.o_price", algebra.LT, algebra.NewFloat(10)), nil)
+	if math.Abs(sel-0.9) > 0.05 {
+		t.Errorf("histogram selectivity should be ~0.9, got %g (uniform would be 0.1)", sel)
+	}
+	gt := e.Selectivity(algebra.CmpConst("orders.o_price", algebra.GE, algebra.NewFloat(10)), nil)
+	if math.Abs(gt-0.1) > 0.05 {
+		t.Errorf(">= complement should be ~0.1, got %g", gt)
+	}
+	eq := e.Selectivity(algebra.CmpConst("orders.o_price", algebra.EQ, algebra.NewFloat(5)), nil)
+	if eq <= 1.0/5000*2 {
+		// Uniform 1/distinct would be 1/5000; skew makes value 5 far hotter.
+		t.Errorf("histogram equality should reflect skew, got %g", eq)
+	}
+}
+
+func TestJoinRowsNeverNegative(t *testing.T) {
+	e := NewEstimator(estCatalog())
+	f := func(r uint16) bool {
+		eff := map[string]float64{"orders": float64(r)}
+		return e.JoinRows([]string{"orders", "customer"}, eff,
+			[]algebra.Cmp{algebra.Eq("orders.o_custkey", "customer.c_custkey")}) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+package cost
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+)
+
+// Estimator performs System-R-style cardinality estimation over conjunctive
+// select-project-join blocks. Callers supply the *effective* row count of
+// each base relation, which lets the differential optimizer estimate results
+// where one relation has been replaced by its (much smaller) delta, or where
+// relations stand at an intermediate update-propagation state (paper §5.2).
+type Estimator struct {
+	Cat *catalog.Catalog
+	// DefaultRangeSel is used for range predicates when no min/max statistic
+	// is available. 1/3 is the classic System-R default.
+	DefaultRangeSel float64
+}
+
+// NewEstimator builds an estimator over a catalog.
+func NewEstimator(cat *catalog.Catalog) *Estimator {
+	return &Estimator{Cat: cat, DefaultRangeSel: 1.0 / 3.0}
+}
+
+// splitQ splits "rel.col" into its parts.
+func splitQ(q string) (rel, col string) {
+	i := strings.IndexByte(q, '.')
+	if i < 0 {
+		return "", q
+	}
+	return q[:i], q[i+1:]
+}
+
+// Distinct estimates the number of distinct values of a column when its
+// relation holds effRows tuples: the base distinct count, capped by the
+// effective cardinality.
+func (e *Estimator) Distinct(qname string, effRows map[string]float64) float64 {
+	rel, col := splitQ(qname)
+	t, ok := e.Cat.Table(rel)
+	if !ok {
+		// Computed column (aggregate output): assume all-distinct within the
+		// producing result; the caller caps by row count.
+		return math.MaxFloat64
+	}
+	d := float64(t.DistinctOf(col))
+	if r, ok := effRows[rel]; ok && r < d {
+		if r < 1 {
+			return 1
+		}
+		return r
+	}
+	return d
+}
+
+// colHist returns the histogram of a column (nil if absent) and its distinct
+// count for per-bucket spreading.
+func (e *Estimator) colHist(qname string) (*catalog.Histogram, int64) {
+	rel, col := splitQ(qname)
+	t, ok := e.Cat.Table(rel)
+	if !ok {
+		return nil, 0
+	}
+	cs, ok := t.Stats.Columns[col]
+	if !ok {
+		return nil, 0
+	}
+	return cs.Hist, cs.Distinct
+}
+
+// colRange returns the recorded (min, max) of a numeric column, or ok=false.
+func (e *Estimator) colRange(qname string) (lo, hi float64, ok bool) {
+	rel, col := splitQ(qname)
+	t, tok := e.Cat.Table(rel)
+	if !tok {
+		return 0, 0, false
+	}
+	cs, sok := t.Stats.Columns[col]
+	if !sok || cs.Max <= cs.Min {
+		return 0, 0, false
+	}
+	return cs.Min, cs.Max, true
+}
+
+// Selectivity estimates the fraction of tuples satisfying one comparison.
+func (e *Estimator) Selectivity(c algebra.Cmp, effRows map[string]float64) float64 {
+	lc, lIsCol := c.L.(algebra.ColRef)
+	rc, rIsCol := c.R.(algebra.ColRef)
+	switch {
+	case lIsCol && rIsCol:
+		// Join predicate.
+		if c.Op == algebra.EQ {
+			dl := e.Distinct(lc.QName(), effRows)
+			dr := e.Distinct(rc.QName(), effRows)
+			d := math.Max(dl, dr)
+			if d <= 0 || d == math.MaxFloat64 {
+				return 0.1
+			}
+			return 1 / d
+		}
+		return e.DefaultRangeSel
+	case lIsCol || rIsCol:
+		col := lc
+		op := c.Op
+		var lit algebra.Value
+		if lIsCol {
+			lit = c.R.(algebra.Const).Val
+		} else {
+			col = rc
+			op = c.Op.Flip()
+			lit = c.L.(algebra.Const).Val
+		}
+		hist, distinct := e.colHist(col.QName())
+		switch op {
+		case algebra.EQ:
+			if hist != nil {
+				return math.Max(hist.FracEq(lit.AsFloat(), distinct), 1e-6)
+			}
+			d := e.Distinct(col.QName(), effRows)
+			if d <= 0 || d == math.MaxFloat64 {
+				return 0.05
+			}
+			return 1 / d
+		case algebra.NE:
+			if hist != nil {
+				return math.Min(1-hist.FracEq(lit.AsFloat(), distinct), 1)
+			}
+			d := e.Distinct(col.QName(), effRows)
+			if d <= 0 || d == math.MaxFloat64 {
+				return 0.95
+			}
+			return 1 - 1/d
+		default:
+			v := lit.AsFloat()
+			var frac float64
+			switch {
+			case hist != nil:
+				frac = hist.FracBelow(v)
+				if op == algebra.LE {
+					frac += hist.FracEq(v, distinct)
+				}
+			default:
+				lo, hi, ok := e.colRange(col.QName())
+				if !ok {
+					return e.DefaultRangeSel
+				}
+				frac = (v - lo) / (hi - lo)
+			}
+			frac = math.Min(1, math.Max(0, frac))
+			if op == algebra.GT || op == algebra.GE {
+				frac = 1 - frac
+			}
+			// Clamp away from 0 so plans never become free.
+			return math.Max(frac, 1e-4)
+		}
+	default:
+		return 1
+	}
+}
+
+// JoinRows estimates |σ_preds(T1 × … × Tk)| where each Ti holds
+// effRows[Ti] tuples (falling back to catalog statistics when absent).
+func (e *Estimator) JoinRows(tables []string, effRows map[string]float64, preds []algebra.Cmp) float64 {
+	card := 1.0
+	for _, t := range tables {
+		card *= e.TableRows(t, effRows)
+	}
+	for _, p := range preds {
+		card *= e.Selectivity(p, effRows)
+	}
+	if card < 0 {
+		return 0
+	}
+	return card
+}
+
+// TableRows returns the effective cardinality of a base relation.
+func (e *Estimator) TableRows(table string, effRows map[string]float64) float64 {
+	if r, ok := effRows[table]; ok {
+		return math.Max(0, r)
+	}
+	if t, ok := e.Cat.Table(table); ok {
+		return float64(t.Stats.Rows)
+	}
+	return 0
+}
+
+// GroupCount estimates the number of groups produced by grouping inputRows
+// tuples on the given columns: the product of per-column distinct counts,
+// capped by the input cardinality.
+func (e *Estimator) GroupCount(groupBy []string, inputRows float64, effRows map[string]float64) float64 {
+	if len(groupBy) == 0 {
+		if inputRows > 0 {
+			return 1
+		}
+		return 0
+	}
+	groups := 1.0
+	for _, g := range groupBy {
+		d := e.Distinct(g, effRows)
+		if d == math.MaxFloat64 {
+			d = inputRows
+		}
+		groups *= d
+		if groups > inputRows {
+			return math.Max(0, inputRows)
+		}
+	}
+	return math.Min(groups, math.Max(0, inputRows))
+}

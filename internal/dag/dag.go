@@ -1,0 +1,346 @@
+// Package dag implements the AND-OR DAG representation of queries used by
+// the Volcano optimizer family and extended by [RSSB00] and this paper
+// (§4). OR-nodes ("equivalence nodes", Equiv) represent sets of logically
+// equivalent expressions; AND-nodes ("operation nodes", Op) represent one
+// algebraic operation applied to equivalence-node inputs.
+//
+// Queries are inserted one at a time. Select-project-join blocks are fully
+// expanded: the DAG holds one equivalence node per (connected) subset of the
+// block's join items with one join operation per way of splitting the subset
+// in two — exactly the "expanded DAG" of the paper's Figure 1(c), where join
+// associativity has been applied exhaustively and commutativity is implicit
+// (the physical costing considers both input orders of every join node).
+// Unification is by canonical key, so logically equivalent subexpressions of
+// different queries map to the same equivalence node, which is what exposes
+// sharing opportunities to the multi-query optimizer.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+)
+
+// OpKind discriminates operation nodes.
+type OpKind int
+
+const (
+	// OpScan reads a base relation (leaf operation; paper footnote 4:
+	// relation scans are explicit operations with a cost).
+	OpScan OpKind = iota
+	// OpSelect filters by a conjunctive predicate.
+	OpSelect
+	// OpJoin is an inner multiset join.
+	OpJoin
+	// OpProject keeps a column subset.
+	OpProject
+	// OpAggregate groups and aggregates.
+	OpAggregate
+	// OpUnion is multiset union.
+	OpUnion
+	// OpMinus is multiset difference.
+	OpMinus
+	// OpDedup is duplicate elimination.
+	OpDedup
+)
+
+// String names the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpScan:
+		return "scan"
+	case OpSelect:
+		return "select"
+	case OpJoin:
+		return "join"
+	case OpProject:
+		return "project"
+	case OpAggregate:
+		return "aggregate"
+	case OpUnion:
+		return "union"
+	case OpMinus:
+		return "minus"
+	case OpDedup:
+		return "dedup"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is an AND-node: one operation and its equivalence-node inputs.
+type Op struct {
+	ID       int
+	Kind     OpKind
+	Children []*Equiv
+	Parent   *Equiv
+
+	// Table is set for OpScan.
+	Table string
+	// Pred is the predicate applied by OpSelect, or the join conjuncts
+	// applied by this OpJoin (connecting its two children).
+	Pred algebra.Pred
+	// GroupBy and Aggs are set for OpAggregate.
+	GroupBy []algebra.ColRef
+	Aggs    []algebra.AggSpec
+	// Cols is set for OpProject.
+	Cols []algebra.ColRef
+}
+
+// Equiv is an OR-node: a set of equivalent expressions, one per child Op.
+type Equiv struct {
+	ID  int
+	Key string
+	// Schema of the result.
+	Schema algebra.Schema
+	// Ops are the alternative operations producing this result. Ops[0] is
+	// the "natural" operation from query insertion; derivation operations
+	// added by subsumption follow it.
+	Ops []*Op
+	// Parents are operations consuming this result.
+	Parents []*Op
+	// Tables is the sorted set of base relations in the subtree.
+	Tables []string
+	// IsTable marks base-relation leaves; Ops then holds a single OpScan.
+	IsTable bool
+}
+
+// DependsOn reports whether the node's result depends on a base relation.
+func (e *Equiv) DependsOn(table string) bool {
+	for _, t := range e.Tables {
+		if t == table {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders a short identity for debugging.
+func (e *Equiv) String() string {
+	return fmt.Sprintf("e%d{%s}", e.ID, e.Key)
+}
+
+// DAG is the shared AND-OR DAG over a catalog.
+type DAG struct {
+	Cat    *catalog.Catalog
+	Equivs []*Equiv
+	Roots  []*Equiv
+	// RootNames[i] names Roots[i] (the view or query registered).
+	RootNames []string
+
+	byKey    map[string]*Equiv
+	nextOp   int
+	selects  []selInfo
+	subsumed bool
+}
+
+// New creates an empty DAG.
+func New(cat *catalog.Catalog) *DAG {
+	return &DAG{Cat: cat, byKey: make(map[string]*Equiv)}
+}
+
+// BaseTables returns the sorted set of base relations referenced by any
+// registered query.
+func (d *DAG) BaseTables() []string {
+	seen := map[string]bool{}
+	for _, e := range d.Equivs {
+		if e.IsTable {
+			seen[e.Tables[0]] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// intern returns the equivalence node with the given key, creating it if
+// needed. Creation runs mk to populate schema/tables; mk must not recurse
+// into intern with the same key.
+func (d *DAG) intern(key string, mk func(e *Equiv)) (*Equiv, bool) {
+	if e, ok := d.byKey[key]; ok {
+		return e, false
+	}
+	e := &Equiv{ID: len(d.Equivs), Key: key}
+	d.byKey[key] = e
+	d.Equivs = append(d.Equivs, e)
+	mk(e)
+	return e, true
+}
+
+// addOp attaches a new operation node under parent.
+func (d *DAG) addOp(parent *Equiv, op *Op) *Op {
+	op.ID = d.nextOp
+	d.nextOp++
+	op.Parent = parent
+	parent.Ops = append(parent.Ops, op)
+	for _, c := range op.Children {
+		c.Parents = append(c.Parents, op)
+	}
+	return op
+}
+
+// tableEquiv returns (creating on demand) the leaf node for a base relation.
+func (d *DAG) tableEquiv(table string) *Equiv {
+	e, created := d.intern(table, func(e *Equiv) {
+		t := d.Cat.MustTable(table)
+		e.Schema = algebra.TableSchema(t, table)
+		e.Tables = []string{table}
+		e.IsTable = true
+	})
+	if created {
+		d.addOp(e, &Op{Kind: OpScan, Table: table})
+	}
+	return e
+}
+
+// AddQuery inserts a view or query definition into the DAG, expanding its
+// select-project-join blocks and unifying shared subexpressions with nodes
+// already present. It returns the root equivalence node.
+func (d *DAG) AddQuery(name string, root algebra.Node) *Equiv {
+	e := d.insert(root)
+	d.Roots = append(d.Roots, e)
+	d.RootNames = append(d.RootNames, name)
+	return e
+}
+
+// insert recursively translates a logical tree into DAG nodes.
+func (d *DAG) insert(n algebra.Node) *Equiv {
+	switch t := n.(type) {
+	case *algebra.Scan:
+		return d.tableEquiv(t.Table)
+	case *algebra.Select, *algebra.Join:
+		return d.insertSPJ(n)
+	case *algebra.Project:
+		child := d.insert(t.Input)
+		return d.insertProject(t.Cols, child)
+	case *algebra.Aggregate:
+		child := d.insert(t.Input)
+		return d.insertAggregate(t.GroupBy, t.Aggs, child)
+	case *algebra.Union:
+		l, r := d.insert(t.L), d.insert(t.R)
+		return d.insertBinary(OpUnion, l, r)
+	case *algebra.Minus:
+		l, r := d.insert(t.L), d.insert(t.R)
+		return d.insertBinary(OpMinus, l, r)
+	case *algebra.Dedup:
+		child := d.insert(t.Input)
+		return d.insertDedup(child)
+	default:
+		panic(fmt.Sprintf("dag: unsupported node %T", n))
+	}
+}
+
+func (d *DAG) insertProject(cols []algebra.ColRef, child *Equiv) *Equiv {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.QName()
+	}
+	key := "project[" + strings.Join(names, ",") + "](" + child.Key + ")"
+	e, created := d.intern(key, func(e *Equiv) {
+		sch := make(algebra.Schema, len(cols))
+		for i, c := range cols {
+			j := child.Schema.IndexOf(c.QName())
+			if j < 0 {
+				panic(fmt.Sprintf("dag: project column %s not in %s", c.QName(), child.Schema))
+			}
+			sch[i] = child.Schema[j]
+		}
+		e.Schema = sch
+		e.Tables = child.Tables
+	})
+	if created {
+		d.addOp(e, &Op{Kind: OpProject, Children: []*Equiv{child}, Cols: cols})
+	}
+	return e
+}
+
+func (d *DAG) insertAggregate(groupBy []algebra.ColRef, aggs []algebra.AggSpec, child *Equiv) *Equiv {
+	gs := make([]string, len(groupBy))
+	for i, g := range groupBy {
+		gs[i] = g.QName()
+	}
+	sort.Strings(gs)
+	as := make([]string, len(aggs))
+	for i, a := range aggs {
+		as[i] = a.String()
+	}
+	sort.Strings(as)
+	key := "gb[" + strings.Join(gs, ",") + ";" + strings.Join(as, ",") + "](" + child.Key + ")"
+	e, created := d.intern(key, func(e *Equiv) {
+		// Rebuild the output schema the same way algebra.NewAggregate does.
+		sch := make(algebra.Schema, 0, len(groupBy)+len(aggs))
+		for _, g := range groupBy {
+			j := child.Schema.IndexOf(g.QName())
+			if j < 0 {
+				panic(fmt.Sprintf("dag: group-by column %s not in %s", g.QName(), child.Schema))
+			}
+			sch = append(sch, child.Schema[j])
+		}
+		for _, a := range aggs {
+			name := a.As
+			if name == "" {
+				name = strings.ToLower(a.Func.String())
+				if a.Func != algebra.Count {
+					name += "_" + a.Col.Name
+				}
+			}
+			typ := catalog.Float
+			if a.Func == algebra.Count {
+				typ = catalog.Int
+			}
+			sch = append(sch, algebra.Col{Rel: "agg", Name: name, Type: typ, Width: 8})
+		}
+		e.Schema = sch
+		e.Tables = child.Tables
+	})
+	if created {
+		d.addOp(e, &Op{Kind: OpAggregate, Children: []*Equiv{child}, GroupBy: groupBy, Aggs: aggs})
+	}
+	return e
+}
+
+func (d *DAG) insertBinary(kind OpKind, l, r *Equiv) *Equiv {
+	key := kind.String() + "(" + l.Key + "," + r.Key + ")"
+	e, created := d.intern(key, func(e *Equiv) {
+		e.Schema = l.Schema
+		e.Tables = unionTables(l.Tables, r.Tables)
+	})
+	if created {
+		d.addOp(e, &Op{Kind: kind, Children: []*Equiv{l, r}})
+	}
+	return e
+}
+
+func (d *DAG) insertDedup(child *Equiv) *Equiv {
+	key := "dedup(" + child.Key + ")"
+	e, created := d.intern(key, func(e *Equiv) {
+		e.Schema = child.Schema
+		e.Tables = child.Tables
+	})
+	if created {
+		d.addOp(e, &Op{Kind: OpDedup, Children: []*Equiv{child}})
+	}
+	return e
+}
+
+func unionTables(a, b []string) []string {
+	seen := map[string]bool{}
+	for _, t := range a {
+		seen[t] = true
+	}
+	for _, t := range b {
+		seen[t] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,73 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the AND-OR DAG in Graphviz DOT format: equivalence nodes as
+// boxes, operation nodes as circles (the paper's Figure 1 convention), with
+// registered query roots highlighted. Useful for debugging expansions and
+// for documentation.
+func (d *DAG) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph andor {\n  rankdir=BT;\n")
+	roots := map[int]string{}
+	for i, r := range d.Roots {
+		roots[r.ID] = d.RootNames[i]
+	}
+	for _, e := range d.Equivs {
+		label := e.Key
+		if len(label) > 40 {
+			label = label[:37] + "..."
+		}
+		attrs := fmt.Sprintf("shape=box,label=%q", fmt.Sprintf("e%d: %s", e.ID, label))
+		if name, ok := roots[e.ID]; ok {
+			attrs += fmt.Sprintf(",style=bold,xlabel=%q", name)
+		}
+		fmt.Fprintf(&b, "  e%d [%s];\n", e.ID, attrs)
+		for _, op := range e.Ops {
+			fmt.Fprintf(&b, "  o%d [shape=circle,label=%q];\n", op.ID, op.Kind.String())
+			fmt.Fprintf(&b, "  o%d -> e%d;\n", op.ID, e.ID)
+			for _, c := range op.Children {
+				fmt.Fprintf(&b, "  e%d -> o%d;\n", c.ID, op.ID)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Stats summarizes the DAG's size: equivalence nodes, operation nodes,
+// and per-kind operation counts. Used by tests and the CLI.
+type Stats struct {
+	Equivs, Ops int
+	ByKind      map[OpKind]int
+}
+
+// Statistics computes DAG size statistics.
+func (d *DAG) Statistics() Stats {
+	s := Stats{Equivs: len(d.Equivs), ByKind: map[OpKind]int{}}
+	for _, e := range d.Equivs {
+		s.Ops += len(e.Ops)
+		for _, op := range e.Ops {
+			s.ByKind[op.Kind]++
+		}
+	}
+	return s
+}
+
+// String renders the statistics compactly and deterministically.
+func (s Stats) String() string {
+	kinds := make([]OpKind, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, s.ByKind[k]))
+	}
+	return fmt.Sprintf("equivs=%d ops=%d (%s)", s.Equivs, s.Ops, strings.Join(parts, " "))
+}

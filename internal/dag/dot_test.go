@@ -1,0 +1,44 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDotOutput(t *testing.T) {
+	cat := abcCatalog()
+	d := New(cat)
+	d.AddQuery("v", chainJoin(cat, "a", "b", "c"))
+	dot := d.Dot()
+	if !strings.HasPrefix(dot, "digraph andor {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("not valid DOT framing:\n%s", dot)
+	}
+	// Every equivalence node and operation node must appear.
+	st := d.Statistics()
+	if got := strings.Count(dot, "shape=box"); got != st.Equivs {
+		t.Errorf("expected %d box nodes, got %d", st.Equivs, got)
+	}
+	if got := strings.Count(dot, "shape=circle"); got != st.Ops {
+		t.Errorf("expected %d circle nodes, got %d", st.Ops, got)
+	}
+	if !strings.Contains(dot, `xlabel="v"`) {
+		t.Errorf("root should be labeled with the view name")
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	cat := abcCatalog()
+	d := New(cat)
+	d.AddQuery("v", chainJoin(cat, "a", "b", "c"))
+	st := d.Statistics()
+	if st.Equivs != 6 {
+		t.Errorf("6 equivs expected, got %d", st.Equivs)
+	}
+	// 3 scans + joins: {ab}:1, {bc}:1, {abc}:2 → 4 joins.
+	if st.ByKind[OpScan] != 3 || st.ByKind[OpJoin] != 4 {
+		t.Errorf("op counts wrong: %s", st)
+	}
+	if !strings.Contains(st.String(), "equivs=6") {
+		t.Errorf("stats render wrong: %s", st)
+	}
+}

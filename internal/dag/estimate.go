@@ -1,0 +1,97 @@
+package dag
+
+import (
+	"math"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+)
+
+// Sizer estimates result cardinalities for equivalence nodes under a given
+// assignment of effective base-relation row counts. The differential
+// optimizer creates one Sizer per update-propagation state (paper §5.2: each
+// differential entry records logical properties of the result after a prefix
+// of the updates has been applied) and one per delta substitution.
+//
+// Estimation follows Ops[0] — the natural operation — recursively; because
+// every operation of an equivalence node is logically equivalent and each
+// predicate is applied exactly once along any path, the estimate is
+// independent of which alternative is followed.
+type Sizer struct {
+	Est *cost.Estimator
+	// Eff overrides base-relation cardinalities (absent tables fall back to
+	// catalog statistics).
+	Eff  map[string]float64
+	memo map[int]float64
+}
+
+// NewSizer builds a sizer for one cardinality state.
+func NewSizer(est *cost.Estimator, eff map[string]float64) *Sizer {
+	return &Sizer{Est: est, Eff: eff, memo: make(map[int]float64)}
+}
+
+// Rows estimates the cardinality of an equivalence node's result.
+func (s *Sizer) Rows(e *Equiv) float64 {
+	if v, ok := s.memo[e.ID]; ok {
+		return v
+	}
+	v := s.rows(e)
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	s.memo[e.ID] = v
+	return v
+}
+
+func (s *Sizer) rows(e *Equiv) float64 {
+	if len(e.Ops) == 0 {
+		return 0
+	}
+	op := e.Ops[0]
+	switch op.Kind {
+	case OpScan:
+		return s.Est.TableRows(op.Table, s.Eff)
+	case OpSelect:
+		r := s.Rows(op.Children[0])
+		for _, c := range op.Pred.Conjuncts {
+			r *= s.Est.Selectivity(c, s.Eff)
+		}
+		return r
+	case OpJoin:
+		r := s.Rows(op.Children[0]) * s.Rows(op.Children[1])
+		for _, c := range op.Pred.Conjuncts {
+			r *= s.Est.Selectivity(c, s.Eff)
+		}
+		return r
+	case OpProject:
+		return s.Rows(op.Children[0])
+	case OpAggregate:
+		in := s.Rows(op.Children[0])
+		return s.Est.GroupCount(colNames(op.GroupBy), in, s.Eff)
+	case OpUnion:
+		return s.Rows(op.Children[0]) + s.Rows(op.Children[1])
+	case OpMinus:
+		l, r := s.Rows(op.Children[0]), s.Rows(op.Children[1])
+		return math.Max(0, l-r)
+	case OpDedup:
+		in := s.Rows(op.Children[0])
+		var cols []string
+		for _, c := range e.Schema {
+			cols = append(cols, c.QName())
+		}
+		return s.Est.GroupCount(cols, in, s.Eff)
+	default:
+		return 0
+	}
+}
+
+// Width returns the average output tuple width of a node in bytes.
+func Width(e *Equiv) int { return e.Schema.Width() }
+
+func colNames(cols []algebra.ColRef) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.QName()
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package dag
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+)
+
+// insertSPJ translates a maximal select-project-join block into the subset
+// lattice: one equivalence node per (connected) subset of the block's join
+// items, one join operation per way of splitting a subset in two. Local
+// predicates are applied at the leaves (pushed all the way down); every join
+// conjunct is applied at the lowest join where both of its sides meet.
+func (d *DAG) insertSPJ(n algebra.Node) *Equiv {
+	items, preds := d.collectBlock(n)
+	if len(items) == 1 && len(preds) == 0 {
+		return items[0]
+	}
+	for i := range items {
+		for j := i + 1; j < len(items); j++ {
+			if items[i].Key == items[j].Key {
+				panic("dag: self-joins (duplicate join inputs) are not supported")
+			}
+		}
+	}
+
+	// Map every conjunct to the set of items it references (as a bitmask).
+	itemOf := func(q string) int {
+		for i, it := range items {
+			if it.Schema.Has(q) {
+				return i
+			}
+		}
+		return -1
+	}
+	binds := make([]predBind, 0, len(preds))
+	localPreds := make([][]algebra.Cmp, len(items))
+	for _, p := range preds {
+		var mask uint
+		for _, q := range p.Columns(nil) {
+			i := itemOf(q)
+			if i < 0 {
+				panic(fmt.Sprintf("dag: predicate column %s matches no join input", q))
+			}
+			mask |= 1 << uint(i)
+		}
+		if bits.OnesCount(mask) <= 1 {
+			i := bits.TrailingZeros(mask)
+			if mask == 0 {
+				// Constant-only conjunct: attach to item 0.
+				i = 0
+			}
+			localPreds[i] = append(localPreds[i], p)
+			continue
+		}
+		binds = append(binds, predBind{cmp: p, mask: mask})
+	}
+
+	// Leaf equivalence nodes: each item with its local predicates applied.
+	leaves := make([]*Equiv, len(items))
+	for i, it := range items {
+		leaves[i] = d.selectEquiv(algebra.Pred{Conjuncts: localPreds[i]}, it)
+	}
+	seen := map[string]bool{}
+	for _, l := range leaves {
+		if seen[l.Key] {
+			panic("dag: self-joins (duplicate join inputs) are not supported")
+		}
+		seen[l.Key] = true
+	}
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+
+	// Connectivity of subsets under the join-predicate graph. Cross products
+	// are admitted only if the whole block is disconnected (so that a plan
+	// always exists) — the standard way to keep the lattice small.
+	full := uint(1)<<uint(len(items)) - 1
+	connected := func(mask uint) bool {
+		if mask == 0 {
+			return false
+		}
+		start := uint(1) << uint(bits.TrailingZeros(mask))
+		reach := start
+		for {
+			grew := false
+			for _, b := range binds {
+				if b.mask&mask == b.mask && reach&b.mask != 0 && b.mask&^reach != 0 {
+					reach |= b.mask & mask
+					grew = true
+				}
+			}
+			if !grew {
+				break
+			}
+		}
+		return reach == mask
+	}
+	crossOK := !connected(full)
+	subsetOK := func(mask uint) bool { return crossOK || connected(mask) }
+
+	// Build the lattice bottom-up; masks in increasing numeric order visit
+	// all submasks before their supersets.
+	nodes := make(map[uint]*Equiv, 1<<uint(len(items)))
+	for i := range leaves {
+		nodes[uint(1)<<uint(i)] = leaves[i]
+	}
+	for mask := uint(3); mask <= full; mask++ {
+		if bits.OnesCount(mask) < 2 || mask&full != mask || !subsetOK(mask) {
+			continue
+		}
+		e, created := d.intern(d.subsetKey(mask, leaves, binds), func(e *Equiv) {
+			e.Schema = d.subsetSchema(mask, leaves)
+			e.Tables = d.subsetTables(mask, leaves)
+		})
+		nodes[mask] = e
+		if !created {
+			continue // identical subset already fully expanded
+		}
+		low := uint(1) << uint(bits.TrailingZeros(mask))
+		rest := mask &^ low
+		// Enumerate splits {s1, s2} once each by keeping the lowest item in s1.
+		for sub := rest; ; sub = (sub - 1) & rest {
+			s1 := low | sub
+			s2 := mask &^ s1
+			if s2 != 0 && subsetOK(s1) && subsetOK(s2) {
+				var conj []algebra.Cmp
+				for _, b := range binds {
+					if b.mask&mask == b.mask && b.mask&^s1 != 0 && b.mask&^s2 != 0 {
+						conj = append(conj, b.cmp)
+					}
+				}
+				if len(conj) > 0 || crossOK {
+					l, r := nodes[s1], nodes[s2]
+					if l != nil && r != nil {
+						d.addOp(e, &Op{
+							Kind:     OpJoin,
+							Children: []*Equiv{l, r},
+							Pred:     algebra.Pred{Conjuncts: conj},
+						})
+					}
+				}
+			}
+			if sub == 0 {
+				break
+			}
+		}
+		if len(e.Ops) == 0 {
+			panic(fmt.Sprintf("dag: no join split produced a plan for subset %b", mask))
+		}
+	}
+	root := nodes[full]
+	if root == nil {
+		panic("dag: join block root missing")
+	}
+	return root
+}
+
+// selectEquiv returns the node for σ_pred(child), registering it for
+// subsumption analysis. An empty predicate returns the child unchanged.
+func (d *DAG) selectEquiv(pred algebra.Pred, child *Equiv) *Equiv {
+	if pred.IsTrue() {
+		return child
+	}
+	key := "select[" + pred.String() + "](" + child.Key + ")"
+	e, created := d.intern(key, func(e *Equiv) {
+		e.Schema = child.Schema
+		e.Tables = child.Tables
+	})
+	if created {
+		d.addOp(e, &Op{Kind: OpSelect, Children: []*Equiv{child}, Pred: pred})
+		d.selects = append(d.selects, selInfo{equiv: e, child: child, pred: pred})
+	}
+	return e
+}
+
+// predBind pairs a join conjunct with the bitmask of items it references.
+type predBind struct {
+	cmp  algebra.Cmp
+	mask uint
+}
+
+// subsetKey builds the canonical identity of a join subset: sorted leaf keys
+// plus the sorted join conjuncts applicable inside the subset. Two different
+// queries whose blocks share a subset therefore unify automatically.
+func (d *DAG) subsetKey(mask uint, leaves []*Equiv, binds []predBind) string {
+	var leafKeys []string
+	for i, l := range leaves {
+		if mask&(1<<uint(i)) != 0 {
+			leafKeys = append(leafKeys, l.Key)
+		}
+	}
+	sort.Strings(leafKeys)
+	var predKeys []string
+	for _, b := range binds {
+		if b.mask&mask == b.mask {
+			predKeys = append(predKeys, b.cmp.String())
+		}
+	}
+	sort.Strings(predKeys)
+	return "spj{" + strings.Join(leafKeys, " & ") + " | " + strings.Join(predKeys, ",") + "}"
+}
+
+// subsetSchema concatenates the leaf schemas of a subset in canonical
+// (leaf-key-sorted) order, so the schema is identical however the subset was
+// reached.
+func (d *DAG) subsetSchema(mask uint, leaves []*Equiv) algebra.Schema {
+	var in []*Equiv
+	for i, l := range leaves {
+		if mask&(1<<uint(i)) != 0 {
+			in = append(in, l)
+		}
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].Key < in[j].Key })
+	var sch algebra.Schema
+	for _, l := range in {
+		sch = sch.Concat(l.Schema)
+	}
+	return sch
+}
+
+// subsetTables unions the base tables of a subset's leaves.
+func (d *DAG) subsetTables(mask uint, leaves []*Equiv) []string {
+	var out []string
+	for i, l := range leaves {
+		if mask&(1<<uint(i)) != 0 {
+			out = unionTables(out, l.Tables)
+		}
+	}
+	return out
+}
+
+// collectBlock walks down through Select and Join nodes gathering the join
+// items (non-SPJ subtrees, inserted recursively) and all conjuncts.
+func (d *DAG) collectBlock(n algebra.Node) (items []*Equiv, preds []algebra.Cmp) {
+	switch t := n.(type) {
+	case *algebra.Select:
+		preds = append(preds, t.Pred.Conjuncts...)
+		ci, cp := d.collectBlock(t.Input)
+		return append(items, ci...), append(preds, cp...)
+	case *algebra.Join:
+		preds = append(preds, t.Pred.Conjuncts...)
+		li, lp := d.collectBlock(t.L)
+		ri, rp := d.collectBlock(t.R)
+		items = append(items, li...)
+		items = append(items, ri...)
+		preds = append(preds, lp...)
+		return items, append(preds, rp...)
+	default:
+		return []*Equiv{d.insert(n)}, nil
+	}
+}

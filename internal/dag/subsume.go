@@ -1,0 +1,312 @@
+package dag
+
+import (
+	"sort"
+
+	"repro/internal/algebra"
+)
+
+// selInfo records a selection equivalence node for subsumption analysis.
+type selInfo struct {
+	equiv *Equiv
+	child *Equiv
+	pred  algebra.Pred
+}
+
+// aggInfo records an aggregate equivalence node for subsumption analysis.
+type aggInfo struct {
+	equiv   *Equiv
+	child   *Equiv
+	groupBy []algebra.ColRef
+	aggs    []algebra.AggSpec
+}
+
+// ApplySubsumption adds subsumption derivations to the DAG (paper §4.2 and
+// [RSSB00]):
+//
+//   - selection subsumption: σ_P1(E) is derivable from σ_P2(E) when P1's
+//     conjuncts are a superset of P2's (apply the missing conjuncts), or when
+//     a single range conjunct of P1 implies the corresponding conjunct of P2
+//     (σ_{a<5} from σ_{a<10});
+//   - aggregation subsumption: a coarser group-by is derivable from a finer
+//     one over the same input by re-aggregating (SUM of SUMs, SUM of COUNTs,
+//     MIN of MINs, MAX of MAXs);
+//   - group-by union introduction: for aggregates γ_{G1} and γ_{G2} over the
+//     same input with the same re-aggregatable functions, a new node
+//     γ_{G1∪G2} is introduced and both originals gain derivations from it —
+//     the paper's dno/age example.
+//
+// The method is idempotent: calling it twice adds nothing new.
+func (d *DAG) ApplySubsumption() {
+	if d.subsumed {
+		return
+	}
+	d.subsumed = true
+	d.subsumeSelections()
+	d.subsumeAggregates()
+}
+
+func (d *DAG) subsumeSelections() {
+	// Group selection nodes by child.
+	byChild := map[*Equiv][]selInfo{}
+	for _, s := range d.selects {
+		byChild[s.child] = append(byChild[s.child], s)
+	}
+	for _, group := range byChild {
+		for i := range group {
+			for j := range group {
+				if i == j {
+					continue
+				}
+				fine, coarse := group[i], group[j]
+				if rest, ok := predMinus(fine.pred, coarse.pred); ok {
+					// fine = coarse ∧ rest: derive fine by filtering coarse.
+					d.addOp(fine.equiv, &Op{
+						Kind:     OpSelect,
+						Children: []*Equiv{coarse.equiv},
+						Pred:     rest,
+					})
+					continue
+				}
+				if impliedBy(fine.pred, coarse.pred) {
+					// Every tuple of fine passes coarse: filter coarse by the
+					// full fine predicate.
+					d.addOp(fine.equiv, &Op{
+						Kind:     OpSelect,
+						Children: []*Equiv{coarse.equiv},
+						Pred:     fine.pred,
+					})
+				}
+			}
+		}
+	}
+}
+
+// predMinus returns fine's conjuncts not present in coarse, succeeding only
+// when coarse's conjuncts are a strict subset of fine's.
+func predMinus(fine, coarse algebra.Pred) (algebra.Pred, bool) {
+	if len(coarse.Conjuncts) >= len(fine.Conjuncts) {
+		return algebra.Pred{}, false
+	}
+	have := map[string]bool{}
+	for _, c := range fine.Conjuncts {
+		have[c.String()] = true
+	}
+	for _, c := range coarse.Conjuncts {
+		if !have[c.String()] {
+			return algebra.Pred{}, false
+		}
+	}
+	inCoarse := map[string]bool{}
+	for _, c := range coarse.Conjuncts {
+		inCoarse[c.String()] = true
+	}
+	var rest []algebra.Cmp
+	for _, c := range fine.Conjuncts {
+		if !inCoarse[c.String()] {
+			rest = append(rest, c)
+		}
+	}
+	if len(rest) == 0 {
+		return algebra.Pred{}, false
+	}
+	return algebra.Pred{Conjuncts: rest}, true
+}
+
+// impliedBy reports whether pred fine logically implies pred coarse, using
+// per-conjunct range reasoning on (column op constant) comparisons: every
+// conjunct of coarse must be implied by some conjunct of fine.
+func impliedBy(fine, coarse algebra.Pred) bool {
+	if len(coarse.Conjuncts) == 0 {
+		return true
+	}
+	for _, cc := range coarse.Conjuncts {
+		ok := false
+		for _, fc := range fine.Conjuncts {
+			if cmpImplies(fc, cc) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// cmpImplies reports whether comparison a implies comparison b. Both must be
+// (column op constant) over the same column.
+func cmpImplies(a, b algebra.Cmp) bool {
+	if a.String() == b.String() {
+		return true
+	}
+	ac, aok := a.L.(algebra.ColRef)
+	av, avok := a.R.(algebra.Const)
+	bc, bok := b.L.(algebra.ColRef)
+	bv, bvok := b.R.(algebra.Const)
+	if !aok || !avok || !bok || !bvok || ac.QName() != bc.QName() {
+		return false
+	}
+	x, y := av.Val.AsFloat(), bv.Val.AsFloat()
+	switch a.Op {
+	case algebra.LT:
+		return (b.Op == algebra.LT && x <= y) || (b.Op == algebra.LE && x <= y)
+	case algebra.LE:
+		return (b.Op == algebra.LE && x <= y) || (b.Op == algebra.LT && x < y)
+	case algebra.GT:
+		return (b.Op == algebra.GT && x >= y) || (b.Op == algebra.GE && x >= y)
+	case algebra.GE:
+		return (b.Op == algebra.GE && x >= y) || (b.Op == algebra.GT && x > y)
+	case algebra.EQ:
+		switch b.Op {
+		case algebra.LT:
+			return x < y
+		case algebra.LE:
+			return x <= y
+		case algebra.GT:
+			return x > y
+		case algebra.GE:
+			return x >= y
+		case algebra.EQ:
+			return x == y
+		}
+	}
+	return false
+}
+
+func (d *DAG) subsumeAggregates() {
+	// Collect aggregate operations (natural ones inserted by queries).
+	var infos []aggInfo
+	for _, e := range d.Equivs {
+		if len(e.Ops) == 0 || e.Ops[0].Kind != OpAggregate {
+			continue
+		}
+		op := e.Ops[0]
+		infos = append(infos, aggInfo{equiv: e, child: op.Children[0], groupBy: op.GroupBy, aggs: op.Aggs})
+	}
+	aggSig := func(a aggInfo) string {
+		ss := make([]string, len(a.aggs))
+		for i, s := range a.aggs {
+			ss[i] = s.String()
+		}
+		sort.Strings(ss)
+		out := a.child.Key + ";"
+		for _, s := range ss {
+			out += s + ","
+		}
+		return out
+	}
+	reaggOK := func(a aggInfo) bool {
+		for _, s := range a.aggs {
+			if s.Func == algebra.Avg {
+				return false // AVG does not re-aggregate without SUM+COUNT
+			}
+		}
+		return true
+	}
+	bySig := map[string][]aggInfo{}
+	for _, a := range infos {
+		if reaggOK(a) {
+			bySig[aggSig(a)] = append(bySig[aggSig(a)], a)
+		}
+	}
+	for _, group := range bySig {
+		for i := range group {
+			for j := range group {
+				if i == j {
+					continue
+				}
+				coarse, fine := group[i], group[j]
+				if isSubsetCols(coarse.groupBy, fine.groupBy) && len(coarse.groupBy) < len(fine.groupBy) {
+					d.addReaggOp(coarse, fine.equiv)
+				}
+			}
+			// Group-by union introduction for incomparable pairs.
+			for j := i + 1; j < len(group); j++ {
+				a, b := group[i], group[j]
+				if isSubsetCols(a.groupBy, b.groupBy) || isSubsetCols(b.groupBy, a.groupBy) {
+					continue
+				}
+				union := unionCols(a.groupBy, b.groupBy)
+				ue := d.insertAggregate(union, a.aggs, a.child)
+				d.addReaggOp(a, ue)
+				d.addReaggOp(b, ue)
+			}
+		}
+	}
+}
+
+// addReaggOp adds to target an operation that re-aggregates the finer
+// aggregate node fineEquiv down to target's group-by.
+func (d *DAG) addReaggOp(target aggInfo, fineEquiv *Equiv) {
+	aggs := make([]algebra.AggSpec, len(target.aggs))
+	for i, s := range target.aggs {
+		// The fine node's output column for this aggregate.
+		name := s.As
+		if name == "" {
+			name = aggOutName(s)
+		}
+		f := s.Func
+		if f == algebra.Count {
+			f = algebra.Sum // COUNT re-aggregates by summing counts
+		}
+		aggs[i] = algebra.AggSpec{Func: f, Col: algebra.ColRef{Rel: "agg", Name: name}, As: name}
+	}
+	// Avoid duplicate derivations (idempotence).
+	for _, op := range target.equiv.Ops {
+		if op.Kind == OpAggregate && len(op.Children) == 1 && op.Children[0] == fineEquiv {
+			return
+		}
+	}
+	d.addOp(target.equiv, &Op{
+		Kind:     OpAggregate,
+		Children: []*Equiv{fineEquiv},
+		GroupBy:  target.groupBy,
+		Aggs:     aggs,
+	})
+}
+
+// aggOutName mirrors the default output naming of algebra.NewAggregate.
+func aggOutName(s algebra.AggSpec) string {
+	if s.Func == algebra.Count {
+		return "count"
+	}
+	switch s.Func {
+	case algebra.Sum:
+		return "sum_" + s.Col.Name
+	case algebra.Avg:
+		return "avg_" + s.Col.Name
+	case algebra.Min:
+		return "min_" + s.Col.Name
+	case algebra.Max:
+		return "max_" + s.Col.Name
+	}
+	return "agg_" + s.Col.Name
+}
+
+func isSubsetCols(sub, super []algebra.ColRef) bool {
+	have := map[string]bool{}
+	for _, c := range super {
+		have[c.QName()] = true
+	}
+	for _, c := range sub {
+		if !have[c.QName()] {
+			return false
+		}
+	}
+	return true
+}
+
+func unionCols(a, b []algebra.ColRef) []algebra.ColRef {
+	seen := map[string]bool{}
+	var out []algebra.ColRef
+	for _, c := range append(append([]algebra.ColRef{}, a...), b...) {
+		if !seen[c.QName()] {
+			seen[c.QName()] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].QName() < out[j].QName() })
+	return out
+}

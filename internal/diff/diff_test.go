@@ -1,0 +1,449 @@
+package diff
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/dag"
+	"repro/internal/volcano"
+)
+
+// testCatalog: orders (100k) → customer (10k) → nation (25), with FKs.
+func testCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	cat.AddTable(&catalog.Table{
+		Name: "nation",
+		Columns: []catalog.Column{
+			{Name: "n_key", Type: catalog.Int, Width: 8},
+			{Name: "n_region", Type: catalog.Int, Width: 8},
+		},
+		PrimaryKey: []string{"n_key"},
+		Stats: catalog.TableStats{
+			Rows: 25,
+			Columns: map[string]catalog.ColumnStats{
+				"n_key":    {Distinct: 25, Min: 1, Max: 25},
+				"n_region": {Distinct: 5, Min: 1, Max: 5},
+			},
+		},
+	})
+	cat.AddTable(&catalog.Table{
+		Name: "customer",
+		Columns: []catalog.Column{
+			{Name: "c_key", Type: catalog.Int, Width: 8},
+			{Name: "c_nation", Type: catalog.Int, Width: 8},
+			{Name: "c_acct", Type: catalog.Float, Width: 8},
+		},
+		PrimaryKey: []string{"c_key"},
+		Stats: catalog.TableStats{
+			Rows: 10000,
+			Columns: map[string]catalog.ColumnStats{
+				"c_key":    {Distinct: 10000, Min: 1, Max: 10000},
+				"c_nation": {Distinct: 25, Min: 1, Max: 25},
+				"c_acct":   {Distinct: 5000, Min: 0, Max: 10000},
+			},
+		},
+	})
+	cat.AddTable(&catalog.Table{
+		Name: "orders",
+		Columns: []catalog.Column{
+			{Name: "o_key", Type: catalog.Int, Width: 8},
+			{Name: "o_cust", Type: catalog.Int, Width: 8},
+			{Name: "o_price", Type: catalog.Float, Width: 8},
+		},
+		PrimaryKey: []string{"o_key"},
+		Stats: catalog.TableStats{
+			Rows: 100000,
+			Columns: map[string]catalog.ColumnStats{
+				"o_key":   {Distinct: 100000, Min: 1, Max: 100000},
+				"o_cust":  {Distinct: 10000, Min: 1, Max: 10000},
+				"o_price": {Distinct: 10000, Min: 0, Max: 1000},
+			},
+		},
+	})
+	cat.AddForeignKey(catalog.ForeignKey{
+		Table: "orders", Columns: []string{"o_cust"},
+		RefTable: "customer", RefColumns: []string{"c_key"},
+	})
+	cat.AddForeignKey(catalog.ForeignKey{
+		Table: "customer", Columns: []string{"c_nation"},
+		RefTable: "nation", RefColumns: []string{"n_key"},
+	})
+	// The paper's default setup: primary-key indexes on every relation.
+	for _, tb := range cat.Tables() {
+		cat.AddIndex(catalog.Index{
+			Name: "pk_" + tb, Table: tb,
+			Columns: cat.MustTable(tb).PrimaryKey, Unique: true,
+		})
+	}
+	return cat
+}
+
+func ordersView(cat *catalog.Catalog) algebra.Node {
+	return algebra.NewJoin(algebra.And(algebra.Eq("customer.c_nation", "nation.n_key")),
+		algebra.NewJoin(algebra.And(algebra.Eq("orders.o_cust", "customer.c_key")),
+			algebra.NewScan(cat, "orders"), algebra.NewScan(cat, "customer")),
+		algebra.NewScan(cat, "nation"))
+}
+
+func engine(t *testing.T, pct float64) (*Engine, *dag.Equiv) {
+	t.Helper()
+	cat := testCatalog()
+	d := dag.New(cat)
+	root := d.AddQuery("v", ordersView(cat))
+	u := UniformPercent(cat, []string{"orders", "customer", "nation"}, pct)
+	return NewEngine(d, cost.NewModel(cost.Default()), u), root
+}
+
+func rootMat(en *Engine, root *dag.Equiv) *MatState {
+	ms := NewMatState()
+	ms.Fulls.Full[root.ID] = true
+	return ms
+}
+
+func TestUpdateNumbering(t *testing.T) {
+	cat := testCatalog()
+	u := UniformPercent(cat, []string{"orders", "customer"}, 10)
+	if u.N() != 4 {
+		t.Fatalf("N = %d", u.N())
+	}
+	if u.Table(1) != "orders" || !u.IsInsert(1) {
+		t.Errorf("update 1 should be insert on orders")
+	}
+	if u.Table(2) != "orders" || u.IsInsert(2) {
+		t.Errorf("update 2 should be delete on orders")
+	}
+	if u.Table(3) != "customer" || u.Table(4) != "customer" {
+		t.Errorf("updates 3,4 should be on customer")
+	}
+	if u.Rows(1) != 10000 || u.Rows(2) != 5000 {
+		t.Errorf("10%% of orders: ins=10000 del=5000, got %g %g", u.Rows(1), u.Rows(2))
+	}
+}
+
+func TestStateRowsProgression(t *testing.T) {
+	cat := testCatalog()
+	u := UniformPercent(cat, []string{"orders", "customer"}, 10)
+	s0 := u.StateRows(cat, 0)
+	if s0["orders"] != 100000 {
+		t.Errorf("state 0 unchanged")
+	}
+	s1 := u.StateRows(cat, 1)
+	if s1["orders"] != 110000 {
+		t.Errorf("after insert: %g", s1["orders"])
+	}
+	s2 := u.StateRows(cat, 2)
+	if s2["orders"] != 105000 {
+		t.Errorf("after delete: %g", s2["orders"])
+	}
+	if s2["customer"] != 10000 {
+		t.Errorf("customer untouched at state 2")
+	}
+	s4 := u.StateRows(cat, 4)
+	if s4["customer"] != 10500 {
+		t.Errorf("final customer: %g", s4["customer"])
+	}
+}
+
+func TestDiffPlanEmptyForIndependentRelation(t *testing.T) {
+	en, root := engine(t, 10)
+	ev := en.NewEval(rootMat(en, root))
+	// Find the orders⋈customer node: independent of nation.
+	var oc *dag.Equiv
+	for _, e := range en.D.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("orders") && e.DependsOn("customer") {
+			oc = e
+		}
+	}
+	// Update 5 = insert on nation.
+	p := ev.DiffPlan(oc, 5)
+	if !p.Empty {
+		t.Errorf("δ(orders⋈customer) wrt nation insert should be empty")
+	}
+	if ev.DiffCost(oc, 5) != 0 {
+		t.Errorf("empty differential costs nothing")
+	}
+}
+
+// refreshCost mirrors the paper's cost(n, M) for a materialized view: the
+// cheaper of recomputing+storing and incremental maintenance.
+func refreshCost(en *Engine, ev *Eval, root *dag.Equiv) (recompute, maint float64) {
+	recompute = ev.ComputeCost(root) +
+		en.Model.WriteCost(en.FinalRows(root), dag.Width(root))
+	return recompute, ev.MaintCost(root)
+}
+
+func TestDiffCheaperThanRecomputeAtLowUpdate(t *testing.T) {
+	// The classic warehouse case: small appends to the fact table only.
+	// Delta orders probe the PK indexes of customer and nation, so
+	// incremental maintenance must beat recompute+store.
+	cat := testCatalog()
+	d := dag.New(cat)
+	root := d.AddQuery("v", ordersView(cat))
+	u := UniformPercent(cat, []string{"orders"}, 1)
+	en := NewEngine(d, cost.NewModel(cost.Default()), u)
+	ev := en.NewEval(rootMat(en, root))
+	recompute, maint := refreshCost(en, ev, root)
+	if maint >= recompute {
+		t.Errorf("at 1%% fact updates incremental should win: maint=%g recompute=%g", maint, recompute)
+	}
+}
+
+func TestRecomputeCompetitiveAtHighUpdate(t *testing.T) {
+	en, root := engine(t, 80)
+	ev := en.NewEval(rootMat(en, root))
+	rec80, maint80 := refreshCost(en, ev, root)
+	// At 80% updates the gap must close dramatically versus 1%.
+	en1, root1 := engine(t, 1)
+	ev1 := en1.NewEval(rootMat(en1, root1))
+	rec1, maint1 := refreshCost(en1, ev1, root1)
+	if maint80/rec80 <= maint1/rec1 {
+		t.Errorf("maintenance/recompute ratio should grow with update %%: %g vs %g",
+			maint80/rec80, maint1/rec1)
+	}
+}
+
+func TestFKPruningInsertOnReferencedTable(t *testing.T) {
+	en, root := engine(t, 10)
+	ev := en.NewEval(rootMat(en, root))
+	// Update 3 = insert on customer (orders is update 1/2, customer 3/4,
+	// nation 5/6). Customer inserts propagate before orders? No: orders
+	// first. orders.o_cust FK → customer.c_key. Inserts on customer (update
+	// 3) joined with orders at state 2: orders' inserts were ALREADY applied
+	// (update 1 < 3), so pruning must NOT fire for orders⋈customer.
+	var oc *dag.Equiv
+	for _, e := range en.D.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("orders") && e.DependsOn("customer") {
+			oc = e
+		}
+	}
+	if p := ev.DiffPlan(oc, 3); p.Empty {
+		t.Errorf("pruning unsound here: orders may already reference new customers")
+	}
+	// Update 5 = insert on nation, joined with customer whose inserts were
+	// applied at update 3 < 5 → unsafe, not pruned. But in a spec where
+	// nation comes FIRST, pruning of δ+nation ⋈ customer is sound.
+	u2 := UniformPercent(en.D.Cat, []string{"nation", "customer", "orders"}, 10)
+	en2 := NewEngine(en.D, en.Model, u2)
+	ev2 := en2.NewEval(rootMat(en2, root))
+	var cn *dag.Equiv
+	for _, e := range en.D.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("customer") && e.DependsOn("nation") {
+			cn = e
+		}
+	}
+	p := ev2.DiffPlan(cn, 1) // insert on nation, first update
+	if !p.Empty || !p.FKPruned {
+		t.Errorf("δ+nation ⋈ customer should be FK-pruned when nation goes first: %s", p)
+	}
+	// Deletes are never pruned.
+	if p := ev2.DiffPlan(cn, 2); p.Empty {
+		t.Errorf("deletes must not be FK-pruned")
+	}
+}
+
+func TestDeltaRowsScaleWithUpdatePercent(t *testing.T) {
+	en1, root1 := engine(t, 1)
+	en10, root10 := engine(t, 10)
+	r1 := en1.DeltaRows(root1, 1)
+	r10 := en10.DeltaRows(root10, 1)
+	if math.Abs(r10/r1-10) > 0.5 {
+		t.Errorf("delta rows should scale ~linearly: %g vs %g", r1, r10)
+	}
+}
+
+func TestMaterializedSubexpressionHelpsDiff(t *testing.T) {
+	en, root := engine(t, 5)
+	var oc *dag.Equiv
+	for _, e := range en.D.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("orders") && e.DependsOn("customer") {
+			oc = e
+		}
+	}
+	base := en.NewEval(rootMat(en, root))
+	baseCost := base.TotalDiffCost(root)
+
+	ms := rootMat(en, root)
+	ms.Fulls.Full[oc.ID] = true
+	with := en.NewEval(ms)
+	withCost := with.TotalDiffCost(root)
+	if withCost > baseCost+1e-9 {
+		t.Errorf("materializing a subexpression must not hurt: %g vs %g", withCost, baseCost)
+	}
+}
+
+func TestIndexEnablesCheapDiffJoin(t *testing.T) {
+	en, root := engine(t, 1)
+	ms := rootMat(en, root)
+	noIx := en.NewEval(ms).TotalDiffCost(root)
+
+	ms2 := rootMat(en, root)
+	// Index orders on its join column: delta customers probe orders.
+	var ordersEq *dag.Equiv
+	for _, e := range en.D.Equivs {
+		if e.IsTable && e.Tables[0] == "orders" {
+			ordersEq = e
+		}
+	}
+	ms2.Fulls.Indexes[volcano.IndexKey{EquivID: ordersEq.ID, Col: "orders.o_cust"}] = true
+	withIx := en.NewEval(ms2).TotalDiffCost(root)
+	if withIx >= noIx {
+		t.Errorf("an index on orders.o_cust should cut differential cost: %g vs %g", withIx, noIx)
+	}
+}
+
+func TestTemporaryDiffMaterializationReused(t *testing.T) {
+	en, root := engine(t, 5)
+	var oc *dag.Equiv
+	for _, e := range en.D.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("orders") && e.DependsOn("customer") {
+			oc = e
+		}
+	}
+	ms := rootMat(en, root)
+	ms.Diffs[DiffKey{oc.ID, 1}] = true
+	ev := en.NewEval(ms)
+	access := ev.DiffAccess(oc, 1)
+	plan := ev.DiffPlan(oc, 1)
+	if !access.Reused {
+		t.Errorf("materialized differential should be reused when cheaper")
+	}
+	if access.Cost >= plan.Cost {
+		t.Errorf("reuse should be cheaper than recompute: %g vs %g", access.Cost, plan.Cost)
+	}
+}
+
+func TestAggregateDiffNeedsMaterialization(t *testing.T) {
+	cat := testCatalog()
+	d := dag.New(cat)
+	agg := algebra.NewAggregate(
+		[]algebra.ColRef{algebra.C("customer.c_nation")},
+		[]algebra.AggSpec{{Func: algebra.Sum, Col: algebra.C("orders.o_price")}, {Func: algebra.Count}},
+		ordersView(cat).(*algebra.Join))
+	root := d.AddQuery("v", agg)
+	u := UniformPercent(cat, []string{"orders"}, 5)
+	en := NewEngine(d, cost.NewModel(cost.Default()), u)
+
+	// Root (aggregate) materialized: delta aggregation is cheap.
+	msOn := NewMatState()
+	msOn.Fulls.Full[root.ID] = true
+	cheap := en.NewEval(msOn).DiffCost(root, 1)
+
+	// Aggregate NOT materialized: affected groups must be recomputed.
+	msOff := NewMatState()
+	expensive := en.NewEval(msOff).DiffCost(root, 1)
+	if cheap >= expensive {
+		t.Errorf("unmaterialized aggregate differential should be expensive: %g vs %g",
+			cheap, expensive)
+	}
+}
+
+func TestMinMaxNotMaintainableUnderDeletes(t *testing.T) {
+	cat := testCatalog()
+	d := dag.New(cat)
+	agg := algebra.NewAggregate(
+		[]algebra.ColRef{algebra.C("customer.c_nation")},
+		[]algebra.AggSpec{{Func: algebra.Max, Col: algebra.C("orders.o_price")}},
+		ordersView(cat).(*algebra.Join))
+	root := d.AddQuery("v", agg)
+	u := UniformPercent(cat, []string{"orders"}, 5)
+	en := NewEngine(d, cost.NewModel(cost.Default()), u)
+	ms := NewMatState()
+	ms.Fulls.Full[root.ID] = true
+	ev := en.NewEval(ms)
+	ins := ev.DiffPlan(root, 1) // insert: MAX maintainable
+	del := ev.DiffPlan(root, 2) // delete: group recomputation
+	if len(ins.FullInputs) != 0 {
+		t.Errorf("MAX under inserts should maintain from delta alone")
+	}
+	if len(del.FullInputs) == 0 {
+		t.Errorf("MAX under deletes requires the full input")
+	}
+}
+
+func TestForkMatchesFreshEval(t *testing.T) {
+	en, root := engine(t, 10)
+	ms := rootMat(en, root)
+	ev := en.NewEval(ms)
+	// Warm the memos.
+	_ = ev.MaintCost(root)
+	_ = ev.ComputeCost(root)
+
+	var oc *dag.Equiv
+	for _, e := range en.D.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("orders") && e.DependsOn("customer") {
+			oc = e
+		}
+	}
+	changes := []Change{
+		{Kind: ChangeFull, EquivID: oc.ID},
+		{Kind: ChangeDiff, EquivID: oc.ID, Update: 1},
+		{Kind: ChangeIndex, EquivID: oc.ID, Col: "customer.c_nation"},
+	}
+	for _, ch := range changes {
+		forked := ev.Fork(ch)
+		ms2 := ms.Clone()
+		ch.Apply(ms2)
+		fresh := en.NewEval(ms2)
+		for _, e := range en.D.Equivs {
+			for i := 1; i <= en.U.N(); i++ {
+				a, b := forked.DiffCost(e, i), fresh.DiffCost(e, i)
+				if math.Abs(a-b) > 1e-9*(1+math.Abs(b)) {
+					t.Fatalf("fork mismatch (change %v) on e%d update %d: %g vs %g",
+						ch, e.ID, i, a, b)
+				}
+			}
+			fa := forked.FullPlanAt(e, en.FinalState()).CumCost
+			fb := fresh.FullPlanAt(e, en.FinalState()).CumCost
+			if math.Abs(fa-fb) > 1e-9*(1+math.Abs(fb)) {
+				t.Fatalf("fork full-cost mismatch (change %v) on e%d: %g vs %g", ch, e.ID, fa, fb)
+			}
+		}
+	}
+}
+
+func TestMergeCostIndexedCheaper(t *testing.T) {
+	en, root := engine(t, 5)
+	ms := rootMat(en, root)
+	plain := en.NewEval(ms).MergeCost(root)
+	ms2 := rootMat(en, root)
+	ms2.Fulls.Indexes[volcano.IndexKey{EquivID: root.ID, Col: "orders.o_key"}] = true
+	indexed := en.NewEval(ms2).MergeCost(root)
+	if indexed >= plain {
+		t.Errorf("indexed merge should be cheaper: %g vs %g", indexed, plain)
+	}
+}
+
+func TestTotalDeltaRows(t *testing.T) {
+	cat := testCatalog()
+	u := UniformPercent(cat, []string{"orders"}, 10)
+	want := 10000.0 + 5000.0
+	if got := u.TotalDeltaRows(); math.Abs(got-want) > 1 {
+		t.Errorf("TotalDeltaRows = %g, want %g", got, want)
+	}
+}
+
+func TestAncestorsOf(t *testing.T) {
+	en, root := engine(t, 5)
+	var ordersEq *dag.Equiv
+	for _, e := range en.D.Equivs {
+		if e.IsTable && e.Tables[0] == "orders" {
+			ordersEq = e
+		}
+	}
+	anc := en.AncestorsOf(ordersEq.ID)
+	found := false
+	for _, id := range anc {
+		if id == root.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("root must be an ancestor of the orders leaf")
+	}
+	if len(en.AncestorsOf(root.ID)) != 0 {
+		t.Errorf("root has no ancestors")
+	}
+}

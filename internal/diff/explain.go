@@ -1,0 +1,77 @@
+package diff
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dag"
+	"repro/internal/volcano"
+)
+
+// Explain renders a differential plan as an indented tree. Differential
+// inputs recurse as differential plans; full inputs render via the volcano
+// explainer, indented under a "full:" marker.
+func Explain(p *DiffPlan, u *UpdateSpec) string {
+	var b strings.Builder
+	explainDiff(&b, p, u, "")
+	return b.String()
+}
+
+func explainDiff(b *strings.Builder, p *DiffPlan, u *UpdateSpec, prefix string) {
+	switch {
+	case p == nil:
+		fmt.Fprintf(b, "%s<nil>\n", prefix)
+		return
+	case p.Empty:
+		reason := "independent"
+		if p.FKPruned {
+			reason = "foreign-key pruned"
+		}
+		fmt.Fprintf(b, "%sδ%s(e%d) = ∅  (%s)\n", prefix, updName(u, p.Update), p.E.ID, reason)
+		return
+	case p.Reused:
+		fmt.Fprintf(b, "%sreuse materialized δ%s(e%d)  rows=%.0f cost=%.3f\n",
+			prefix, updName(u, p.Update), p.E.ID, p.Rows, p.Cost)
+		return
+	}
+	desc := p.Op.Kind.String()
+	if p.Op.Kind == dag.OpJoin {
+		desc = fmt.Sprintf("%s join [%s]", p.Algo, p.Op.Pred.String())
+	}
+	fmt.Fprintf(b, "%sδ%s(e%d) via %s  rows=%.0f cost=%.3f\n",
+		prefix, updName(u, p.Update), p.E.ID, desc, p.Rows, p.Cost)
+	for _, c := range p.DiffChildren {
+		explainDiff(b, c, u, prefix+"  ")
+	}
+	for _, f := range p.FullInputs {
+		sub := volcano.Explain(f)
+		for _, line := range strings.Split(strings.TrimRight(sub, "\n"), "\n") {
+			fmt.Fprintf(b, "%s  full: %s\n", prefix, line)
+		}
+	}
+}
+
+func updName(u *UpdateSpec, i int) string {
+	if i < 1 || i > u.N() {
+		return fmt.Sprintf("?%d", i)
+	}
+	sign := "+"
+	if !u.IsInsert(i) {
+		sign = "−"
+	}
+	return sign + u.Table(i)
+}
+
+// ExplainAll renders every non-empty differential plan of a node, one per
+// update number — the complete maintenance strategy for that result.
+func (ev *Eval) ExplainAll(e *dag.Equiv) string {
+	var b strings.Builder
+	for i := 1; i <= ev.En.U.N(); i++ {
+		p := ev.DiffPlan(e, i)
+		if p.Empty {
+			continue
+		}
+		b.WriteString(Explain(p, ev.En.U))
+	}
+	return b.String()
+}

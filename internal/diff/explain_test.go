@@ -1,0 +1,49 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainDifferentialPlans(t *testing.T) {
+	en, root := engine(t, 5)
+	ev := en.NewEval(rootMat(en, root))
+	out := ev.ExplainAll(root)
+	if !strings.Contains(out, "δ+orders") || !strings.Contains(out, "δ−orders") {
+		t.Errorf("insert and delete differentials should render:\n%s", out)
+	}
+	if !strings.Contains(out, "join") {
+		t.Errorf("join operations should render:\n%s", out)
+	}
+	if !strings.Contains(out, "full:") {
+		t.Errorf("full inputs should render:\n%s", out)
+	}
+	if !strings.Contains(out, "rows=") || !strings.Contains(out, "cost=") {
+		t.Errorf("estimates should render:\n%s", out)
+	}
+}
+
+func TestExplainEmptyAndReused(t *testing.T) {
+	en, root := engine(t, 5)
+	var oc int
+	for _, e := range en.D.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("orders") && e.DependsOn("customer") {
+			oc = e.ID
+		}
+	}
+	ms := rootMat(en, root)
+	ms.Diffs[DiffKey{EquivID: oc, Update: 1}] = true
+	ev := en.NewEval(ms)
+
+	// Non-dependent differential renders as empty.
+	ocEq := en.D.Equivs[oc]
+	empty := ev.DiffPlan(ocEq, 5) // nation insert: independent
+	if out := Explain(empty, en.U); !strings.Contains(out, "∅") {
+		t.Errorf("empty differential should render as ∅: %s", out)
+	}
+	// Reused differential renders as reuse.
+	reused := ev.DiffAccess(ocEq, 1)
+	if out := Explain(reused, en.U); !strings.Contains(out, "reuse materialized δ") {
+		t.Errorf("reused differential should render: %s", out)
+	}
+}

@@ -1,0 +1,106 @@
+package diff
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+	"repro/internal/dag"
+)
+
+// TestSharedDifferentialAcrossViews validates the paper's core multi-view
+// claim at the differential level (§3.3): when two views share a
+// subexpression, temporarily materializing the shared differential lowers
+// the combined maintenance cost of both views.
+func TestSharedDifferentialAcrossViews(t *testing.T) {
+	cat := testCatalog()
+	d := dag.New(cat)
+	// Both views contain orders⋈customer.
+	v1 := d.AddQuery("v1", ordersView(cat)) // o⋈c⋈nation
+	v2Def := algebra.NewAggregate(
+		[]algebra.ColRef{algebra.C("customer.c_nation")},
+		[]algebra.AggSpec{{Func: algebra.Count}},
+		algebra.NewJoin(algebra.And(algebra.Eq("orders.o_cust", "customer.c_key")),
+			algebra.NewScan(cat, "orders"), algebra.NewScan(cat, "customer")))
+	v2 := d.AddQuery("v2", v2Def)
+
+	u := UniformPercent(cat, []string{"orders"}, 5)
+	en := NewEngine(d, cost.NewModel(cost.Default()), u)
+
+	var oc *dag.Equiv
+	for _, e := range en.D.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("orders") && e.DependsOn("customer") &&
+			e.Ops[0].Kind == dag.OpJoin {
+			oc = e
+		}
+	}
+	if oc == nil {
+		t.Fatal("shared join node missing")
+	}
+
+	base := NewMatState()
+	base.Fulls.Full[v1.ID] = true
+	base.Fulls.Full[v2.ID] = true
+	evBase := en.NewEval(base)
+	costBase := evBase.TotalDiffCost(v1) + evBase.TotalDiffCost(v2)
+
+	shared := base.Clone()
+	shared.Diffs[DiffKey{EquivID: oc.ID, Update: 1}] = true
+	evShared := en.NewEval(shared)
+	costShared := evShared.TotalDiffCost(v1) + evShared.TotalDiffCost(v2)
+	// The consumers save; producing the shared differential once costs
+	// diffCost(oc,1) + write, which the greedy benefit accounts for — here we
+	// check the consumer side: both views must not pay full recomputation of
+	// the shared differential twice.
+	if costShared > costBase {
+		t.Errorf("sharing must not raise consumer cost: %g vs %g", costShared, costBase)
+	}
+	// At least one of the two views must actually reuse it.
+	reusedSomewhere := false
+	for _, v := range []*dag.Equiv{v1, v2} {
+		var check func(p *DiffPlan)
+		check = func(p *DiffPlan) {
+			if p == nil || p.Empty {
+				return
+			}
+			if p.Reused && p.E.ID == oc.ID {
+				reusedSomewhere = true
+			}
+			for _, c := range p.DiffChildren {
+				check(c)
+			}
+		}
+		check(evShared.DiffAccess(v.Ops[0].Children[0], 1))
+		check(evShared.DiffPlan(v, 1))
+	}
+	if !reusedSomewhere {
+		t.Errorf("the temporarily materialized shared differential was never reused")
+	}
+}
+
+// TestDiffPlansAcrossAllUpdatesConsistent checks that every non-empty
+// differential of every node has positive rows estimate and cost, and that
+// nodes independent of a relation report empty plans — over the whole DAG.
+func TestDiffPlansAcrossAllUpdatesConsistent(t *testing.T) {
+	en, root := engine(t, 10)
+	ev := en.NewEval(rootMat(en, root))
+	for _, e := range en.D.Equivs {
+		for i := 1; i <= en.U.N(); i++ {
+			p := ev.DiffPlan(e, i)
+			dep := e.DependsOn(en.U.Table(i))
+			if !dep && !p.Empty {
+				t.Fatalf("e%d does not depend on %s but has a non-empty differential",
+					e.ID, en.U.Table(i))
+			}
+			if p.Empty {
+				if p.Cost != 0 || p.Rows != 0 {
+					t.Fatalf("empty differential must be free: %+v", p)
+				}
+				continue
+			}
+			if p.Cost < 0 || p.Rows < 0 {
+				t.Fatalf("negative estimate: e%d upd %d %+v", e.ID, i, p)
+			}
+		}
+	}
+}

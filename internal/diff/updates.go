@@ -1,0 +1,117 @@
+// Package diff extends the AND-OR DAG optimizer to view maintenance (paper
+// §5.2–§5.3). Updates are propagated one relation and one update type at a
+// time, numbered 1..2n (odd = inserts, even = deletes, in relation order).
+// For every equivalence node and every update number the package computes
+// the differential's estimated cardinality and the cheapest plan to produce
+// it — the paper's diffCost recurrence — including the choice between hash
+// joins and index nested-loop probes into stored inputs, reuse of
+// temporarily materialized differentials, and foreign-key emptiness pruning.
+package diff
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+)
+
+// UpdateSpec describes the pending update batch: which relations are
+// updated, in which order they are propagated, and how many tuples each δ+
+// and δ− holds. Update numbers follow the paper: for relation k (0-based),
+// update 2k+1 is its insert batch and 2k+2 its delete batch.
+type UpdateSpec struct {
+	Rels []string
+	Ins  map[string]float64
+	Del  map[string]float64
+}
+
+// NewUpdateSpec builds an empty spec over the given propagation order.
+func NewUpdateSpec(rels []string) *UpdateSpec {
+	return &UpdateSpec{
+		Rels: append([]string(nil), rels...),
+		Ins:  make(map[string]float64),
+		Del:  make(map[string]float64),
+	}
+}
+
+// UniformPercent configures the paper's benchmark update model (§7.1): every
+// relation receives inserts of pct% of its current size and deletes of
+// pct/2 % ("twice as many inserts as deletes, to model a growing database").
+func UniformPercent(cat *catalog.Catalog, rels []string, pct float64) *UpdateSpec {
+	u := NewUpdateSpec(rels)
+	for _, r := range rels {
+		rows := float64(cat.MustTable(r).Stats.Rows)
+		u.Ins[r] = rows * pct / 100
+		u.Del[r] = rows * pct / 200
+	}
+	return u
+}
+
+// N returns the number of update numbers (2n).
+func (u *UpdateSpec) N() int { return 2 * len(u.Rels) }
+
+// Table returns the relation updated by update number i (1-based).
+func (u *UpdateSpec) Table(i int) string {
+	if i < 1 || i > u.N() {
+		panic(fmt.Sprintf("diff: update number %d out of range 1..%d", i, u.N()))
+	}
+	return u.Rels[(i-1)/2]
+}
+
+// IsInsert reports whether update number i is an insert batch.
+func (u *UpdateSpec) IsInsert(i int) bool { return i%2 == 1 }
+
+// Rows returns |δ| for update number i.
+func (u *UpdateSpec) Rows(i int) float64 {
+	t := u.Table(i)
+	if u.IsInsert(i) {
+		return u.Ins[t]
+	}
+	return u.Del[t]
+}
+
+// InsertNumber returns the update number of the insert batch of a relation,
+// or 0 if the relation is not in the spec.
+func (u *UpdateSpec) InsertNumber(rel string) int {
+	for k, r := range u.Rels {
+		if r == rel {
+			return 2*k + 1
+		}
+	}
+	return 0
+}
+
+// StateRows returns the effective cardinality of every updated relation
+// after updates 1..k have been applied (k=0 is the pre-update state, k=2n
+// the final state). Relations outside the spec keep their catalog
+// statistics; the caller's estimator falls back to those automatically.
+func (u *UpdateSpec) StateRows(cat *catalog.Catalog, k int) map[string]float64 {
+	if k < 0 || k > u.N() {
+		panic(fmt.Sprintf("diff: state %d out of range 0..%d", k, u.N()))
+	}
+	eff := make(map[string]float64, len(u.Rels))
+	for _, r := range u.Rels {
+		eff[r] = float64(cat.MustTable(r).Stats.Rows)
+	}
+	for i := 1; i <= k; i++ {
+		t := u.Table(i)
+		if u.IsInsert(i) {
+			eff[t] += u.Ins[t]
+		} else {
+			eff[t] -= u.Del[t]
+			if eff[t] < 0 {
+				eff[t] = 0
+			}
+		}
+	}
+	return eff
+}
+
+// TotalDeltaRows sums |δ| over all update numbers affecting relations the
+// node depends on; used to price index maintenance.
+func (u *UpdateSpec) TotalDeltaRows() float64 {
+	total := 0.0
+	for i := 1; i <= u.N(); i++ {
+		total += u.Rows(i)
+	}
+	return total
+}

@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/diff"
+	"repro/internal/storage"
+)
+
+// Maintainer drives incremental refresh: it walks the update numbers 1..2n
+// in order and, for each, computes the differentials of every stored result,
+// folds the base delta into its relation, and merges the differentials —
+// exactly the one-relation-one-update-type-at-a-time propagation of paper
+// §3.2.2, executing the plans chosen by the diff optimizer.
+type Maintainer struct {
+	Ex *Executor
+	En *diff.Engine
+	Ev *diff.Eval
+
+	// diffStore holds temporarily materialized differentials within one
+	// refresh cycle.
+	diffStore map[diff.DiffKey]*storage.Relation
+}
+
+// NewMaintainer assembles a refresh driver. The Eval's materialization state
+// must agree with what has actually been materialized in the executor.
+func NewMaintainer(ex *Executor, en *diff.Engine, ev *diff.Eval) *Maintainer {
+	return &Maintainer{Ex: ex, En: en, Ev: ev, diffStore: make(map[diff.DiffKey]*storage.Relation)}
+}
+
+// EvalNode computes a node's result from base relations only (no reuse of
+// materialized state), following the natural operation of each equivalence
+// node. It is the reference evaluator used for recomputation fallbacks and
+// for verifying maintained results.
+func (ex *Executor) EvalNode(e *dag.Equiv) *storage.Relation {
+	op := e.Ops[0]
+	switch op.Kind {
+	case dag.OpScan:
+		return projectTo(ex.DB.MustRelation(op.Table), e.Schema)
+	case dag.OpSelect:
+		return projectTo(filterRel(ex.EvalNode(op.Children[0]), op.Pred), e.Schema)
+	case dag.OpProject:
+		return projectTo(ex.EvalNode(op.Children[0]), e.Schema)
+	case dag.OpJoin:
+		return projectTo(hashJoin(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1]), op.Pred), e.Schema)
+	case dag.OpAggregate:
+		return projectTo(aggregate(ex.EvalNode(op.Children[0]), op, e.Schema), e.Schema)
+	case dag.OpUnion:
+		return projectTo(unionAll(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1])), e.Schema)
+	case dag.OpMinus:
+		return projectTo(minus(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1])), e.Schema)
+	case dag.OpDedup:
+		return projectTo(dedup(ex.EvalNode(op.Children[0])), e.Schema)
+	default:
+		panic("exec: unexpected op kind " + op.Kind.String())
+	}
+}
+
+// MaterializeNode computes e from base relations and stores it (capturing
+// mergeable aggregate state when e is an aggregate). A base-table node is
+// "materialized" as an alias of the base relation itself: applying the base
+// deltas is its maintenance, so the Maintainer never merges into it.
+func (ex *Executor) MaterializeNode(e *dag.Equiv) *storage.Relation {
+	if e.IsTable {
+		ex.Mat[e.ID] = ex.DB.MustRelation(e.Tables[0])
+		return ex.Mat[e.ID]
+	}
+	op := e.Ops[0]
+	if op.Kind == dag.OpAggregate {
+		in := ex.EvalNode(op.Children[0])
+		at := NewAggTable(in.Schema(), op.GroupBy, op.Aggs, e.Schema)
+		at.Absorb(in, 1)
+		ex.Agg[e.ID] = at
+		ex.Mat[e.ID] = projectTo(at.Rows(), e.Schema)
+	} else {
+		// Clone defensively: EvalNode may return a relation aliasing base
+		// storage (e.g. a projection that keeps the full schema), and the
+		// materialized copy is mutated by merges.
+		ex.Mat[e.ID] = ex.EvalNode(e).Clone()
+	}
+	return ex.Mat[e.ID]
+}
+
+// Refresh propagates every pending update through all stored results.
+func (mt *Maintainer) Refresh() {
+	u := mt.En.U
+	for i := 1; i <= u.N(); i++ {
+		mt.refreshOne(i)
+	}
+	mt.diffStore = make(map[diff.DiffKey]*storage.Relation)
+}
+
+// refreshOne processes a single update number: phase 1 computes all
+// differentials against the pre-update state, phase 2 folds the delta into
+// the base relation, phase 3 merges the differentials (and performs
+// recomputation fallbacks, which then see the post-update base state).
+func (mt *Maintainer) refreshOne(i int) {
+	u := mt.En.U
+	T := u.Table(i)
+	ex := mt.Ex
+
+	type pendingMerge struct {
+		e    *dag.Equiv
+		rel  *storage.Relation // join-style differential, or aggregate input delta
+		agg  bool
+		reco bool // recompute fallback
+	}
+	var pending []pendingMerge
+
+	for id := range ex.Mat {
+		e := mt.En.D.Equivs[id]
+		// Base-table aliases are maintained by the phase-2 delta application.
+		if e.IsTable || !e.DependsOn(T) {
+			continue
+		}
+		p := mt.Ev.DiffPlan(e, i)
+		if at := ex.Agg[id]; at != nil {
+			switch {
+			case p.Empty:
+				// nothing to do
+			case len(p.FullInputs) == 0 && len(p.DiffChildren) == 1:
+				// Maintainable: absorb the input's delta into the mergeable
+				// state during phase 3.
+				in := mt.execDiffPlan(p.DiffChildren[0])
+				pending = append(pending, pendingMerge{e: e, rel: in, agg: true})
+			default:
+				pending = append(pending, pendingMerge{e: e, reco: true})
+			}
+			continue
+		}
+		if p.Empty {
+			continue
+		}
+		pending = append(pending, pendingMerge{e: e, rel: mt.execDiffPlan(p)})
+	}
+
+	// Phase 2: fold the delta into the base relation.
+	if u.IsInsert(i) {
+		ex.DB.ApplyInserts(T)
+	} else {
+		ex.DB.ApplyDeletes(T)
+	}
+
+	// Phase 3: merge.
+	sign := int64(1)
+	if !u.IsInsert(i) {
+		sign = -1
+	}
+	for _, pm := range pending {
+		switch {
+		case pm.reco:
+			ex.MaterializeNode(pm.e)
+		case pm.agg:
+			at := ex.Agg[pm.e.ID]
+			if dirty := at.Absorb(pm.rel, sign); dirty {
+				ex.MaterializeNode(pm.e)
+			} else {
+				ex.Mat[pm.e.ID] = projectTo(at.Rows(), pm.e.Schema)
+			}
+		case sign > 0:
+			ex.Mat[pm.e.ID].InsertAll(projectTo(pm.rel, pm.e.Schema))
+		default:
+			ex.Mat[pm.e.ID].SubtractAll(projectTo(pm.rel, pm.e.Schema))
+		}
+	}
+
+	// Differentials materialized for update i are dead after the round.
+	for k := range mt.diffStore {
+		if k.Update == i {
+			delete(mt.diffStore, k)
+		}
+	}
+}
+
+// execDiffPlan interprets a differential plan against the current state.
+func (mt *Maintainer) execDiffPlan(p *diff.DiffPlan) *storage.Relation {
+	ex := mt.Ex
+	e := p.E
+	if p.Empty {
+		return storage.NewRelation(e.Schema)
+	}
+	if p.Reused {
+		key := diff.DiffKey{EquivID: e.ID, Update: p.Update}
+		if r := mt.diffStore[key]; r != nil {
+			return r
+		}
+		// First use: compute via the node's compute plan and store.
+		r := mt.execDiffPlan(mt.Ev.DiffPlan(e, p.Update))
+		mt.diffStore[key] = r
+		return r
+	}
+	op := p.Op
+	u := mt.En.U
+	switch op.Kind {
+	case dag.OpScan:
+		d := ex.DB.Delta(op.Table)
+		if u.IsInsert(p.Update) {
+			return projectTo(d.Plus, e.Schema)
+		}
+		return projectTo(d.Minus, e.Schema)
+	case dag.OpSelect:
+		return projectTo(filterRel(mt.execDiffPlan(p.DiffChildren[0]), op.Pred), e.Schema)
+	case dag.OpProject:
+		return projectTo(mt.execDiffPlan(p.DiffChildren[0]), e.Schema)
+	case dag.OpJoin:
+		dc := mt.execDiffPlan(p.DiffChildren[0])
+		var full *storage.Relation
+		if len(p.FullInputs) > 0 {
+			full = ex.Run(p.FullInputs[0])
+		} else {
+			// Index nested loops: probe the stored inner side.
+			full = ex.stored(mt.otherJoinChild(p))
+		}
+		return projectTo(hashJoin(dc, full, op.Pred), e.Schema)
+	case dag.OpAggregate:
+		// A maintainable aggregate differential consumed by an ancestor:
+		// aggregate the input delta (merge semantics are the ancestor's
+		// concern; the benchmark workloads materialize aggregates only at
+		// roots, where the Maintainer merges via AggTable instead).
+		in := mt.execDiffPlan(p.DiffChildren[0])
+		return projectTo(aggregate(in, op, e.Schema), e.Schema)
+	case dag.OpUnion:
+		out := storage.NewRelation(e.Schema)
+		for _, c := range p.DiffChildren {
+			out.InsertAll(projectTo(mt.execDiffPlan(c), e.Schema))
+		}
+		return out
+	case dag.OpMinus:
+		panic("exec: differential maintenance through multiset difference is not supported; " +
+			"materialize and recompute such views instead")
+	default:
+		panic(fmt.Sprintf("exec: differential plan over %s unsupported", op.Kind))
+	}
+}
+
+// otherJoinChild identifies the join input that is NOT the differential side.
+func (mt *Maintainer) otherJoinChild(p *diff.DiffPlan) *dag.Equiv {
+	depID := p.DiffChildren[0].E.ID
+	for _, c := range p.Op.Children {
+		if c.ID != depID {
+			return c
+		}
+	}
+	panic("exec: join differential with no full side")
+}

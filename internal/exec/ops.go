@@ -1,0 +1,331 @@
+// Package exec is the in-memory execution engine: it interprets the physical
+// plans produced by the volcano and diff optimizers against storage
+// relations, and drives incremental view refresh (compute differentials one
+// update at a time, merge them into stored results, fold deltas into base
+// relations — the procedure of paper §3.2.2).
+//
+// The paper's authors had no execution engine and reported estimated costs
+// only (§7.1). This package exists so that maintenance plans can be executed
+// and checked for exact multiset equality with recomputation.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/dag"
+	"repro/internal/storage"
+)
+
+// filterRel applies a predicate.
+func filterRel(in *storage.Relation, pred algebra.Pred) *storage.Relation {
+	out := storage.NewRelation(in.Schema())
+	for _, t := range in.Rows() {
+		if pred.Eval(in.Schema(), t) {
+			out.Insert(t)
+		}
+	}
+	return out
+}
+
+// projectTo reorders/subsets columns of in to match the target schema,
+// resolving by qualified name. It panics if a target column is missing.
+func projectTo(in *storage.Relation, target algebra.Schema) *storage.Relation {
+	if schemaEqual(in.Schema(), target) {
+		return in
+	}
+	idx := make([]int, len(target))
+	for i, c := range target {
+		j := in.Schema().IndexOf(c.QName())
+		if j < 0 {
+			panic(fmt.Sprintf("exec: column %s missing from %s", c.QName(), in.Schema()))
+		}
+		idx[i] = j
+	}
+	out := storage.NewRelation(target)
+	for _, t := range in.Rows() {
+		row := make(algebra.Tuple, len(idx))
+		for i, j := range idx {
+			row[i] = t[j]
+		}
+		out.Insert(row)
+	}
+	return out
+}
+
+func schemaEqual(a, b algebra.Schema) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Rel != b[i].Rel || a[i].Name != b[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+// splitJoinPred separates equi-conjuncts usable as hash keys from residual
+// conjuncts, given the two input schemas.
+func splitJoinPred(pred algebra.Pred, ls, rs algebra.Schema) (lCols, rCols []int, residual []algebra.Cmp) {
+	for _, c := range pred.Conjuncts {
+		lc, lok := c.L.(algebra.ColRef)
+		rc, rok := c.R.(algebra.ColRef)
+		if c.Op == algebra.EQ && lok && rok {
+			li, ri := ls.IndexOf(lc.QName()), rs.IndexOf(rc.QName())
+			if li >= 0 && ri >= 0 {
+				lCols = append(lCols, li)
+				rCols = append(rCols, ri)
+				continue
+			}
+			li, ri = ls.IndexOf(rc.QName()), rs.IndexOf(lc.QName())
+			if li >= 0 && ri >= 0 {
+				lCols = append(lCols, li)
+				rCols = append(rCols, ri)
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	return
+}
+
+func keyOf(t algebra.Tuple, cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(t[c].String())
+	}
+	return b.String()
+}
+
+// hashJoin joins two relations under a conjunctive predicate. With no
+// equi-conjunct it degrades to nested loops.
+func hashJoin(l, r *storage.Relation, pred algebra.Pred) *storage.Relation {
+	ls, rs := l.Schema(), r.Schema()
+	outSchema := ls.Concat(rs)
+	out := storage.NewRelation(outSchema)
+	lCols, rCols, residual := splitJoinPred(pred, ls, rs)
+	res := algebra.Pred{Conjuncts: residual}
+
+	emit := func(lt, rt algebra.Tuple) {
+		row := make(algebra.Tuple, 0, len(lt)+len(rt))
+		row = append(row, lt...)
+		row = append(row, rt...)
+		if res.IsTrue() || res.Eval(outSchema, row) {
+			out.Insert(row)
+		}
+	}
+	if len(lCols) == 0 {
+		for _, lt := range l.Rows() {
+			for _, rt := range r.Rows() {
+				emit(lt, rt)
+			}
+		}
+		return out
+	}
+	buckets := make(map[string][]algebra.Tuple, r.Len())
+	for _, rt := range r.Rows() {
+		k := keyOf(rt, rCols)
+		buckets[k] = append(buckets[k], rt)
+	}
+	for _, lt := range l.Rows() {
+		for _, rt := range buckets[keyOf(lt, lCols)] {
+			emit(lt, rt)
+		}
+	}
+	return out
+}
+
+// unionAll concatenates two compatible relations (column order of the first).
+func unionAll(l, r *storage.Relation) *storage.Relation {
+	out := l.Clone()
+	out.InsertAll(projectTo(r, l.Schema()))
+	return out
+}
+
+// minus computes multiset difference l − r.
+func minus(l, r *storage.Relation) *storage.Relation {
+	out := l.Clone()
+	out.SubtractAll(projectTo(r, l.Schema()))
+	return out
+}
+
+// dedup eliminates duplicates.
+func dedup(in *storage.Relation) *storage.Relation {
+	out := storage.NewRelation(in.Schema())
+	seen := map[string]bool{}
+	for _, t := range in.Rows() {
+		k := keyOf(t, allCols(in))
+		if !seen[k] {
+			seen[k] = true
+			out.Insert(t)
+		}
+	}
+	return out
+}
+
+func allCols(in *storage.Relation) []int {
+	cols := make([]int, len(in.Schema()))
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation with mergeable per-group state.
+
+// aggAcc is the accumulator for one aggregate spec within one group. Sum,
+// count and avg are distributive and merge under deletion; min/max are exact
+// under insertion only (the maintainer falls back to recomputation when a
+// deletion could invalidate them — see Maintainer).
+type aggAcc struct {
+	sum float64
+	cnt int64
+	min float64
+	max float64
+}
+
+// groupState is the state of one group: group key values plus one
+// accumulator per aggregate spec and the group's total row count.
+type groupState struct {
+	keyVals algebra.Tuple
+	accs    []aggAcc
+	rows    int64
+}
+
+// AggTable is mergeable aggregation state: the authoritative representation
+// of a materialized aggregate view.
+type AggTable struct {
+	groupBy []int // input column indexes
+	aggCols []int // input column indexes per spec (-1 for COUNT)
+	specs   []algebra.AggSpec
+	out     algebra.Schema
+	groups  map[string]*groupState
+}
+
+// NewAggTable builds empty aggregation state for an aggregate operation over
+// an input schema, producing the output schema out.
+func NewAggTable(in algebra.Schema, groupBy []algebra.ColRef, specs []algebra.AggSpec, out algebra.Schema) *AggTable {
+	at := &AggTable{specs: specs, out: out, groups: make(map[string]*groupState)}
+	for _, g := range groupBy {
+		j := in.IndexOf(g.QName())
+		if j < 0 {
+			panic(fmt.Sprintf("exec: group-by column %s missing from %s", g.QName(), in))
+		}
+		at.groupBy = append(at.groupBy, j)
+	}
+	for _, s := range specs {
+		if s.Func == algebra.Count {
+			at.aggCols = append(at.aggCols, -1)
+			continue
+		}
+		j := in.IndexOf(s.Col.QName())
+		if j < 0 {
+			panic(fmt.Sprintf("exec: aggregate column %s missing from %s", s.Col.QName(), in))
+		}
+		at.aggCols = append(at.aggCols, j)
+	}
+	return at
+}
+
+// Absorb folds input tuples into the state with the given sign (+1 for
+// inserts, −1 for deletes). It reports whether any MIN/MAX accumulator may
+// have been invalidated (a deletion matching the current extremum).
+func (at *AggTable) Absorb(in *storage.Relation, sign int64) (minMaxDirty bool) {
+	for _, t := range in.Rows() {
+		k := keyOf(t, at.groupBy)
+		g := at.groups[k]
+		if g == nil {
+			g = &groupState{accs: make([]aggAcc, len(at.specs))}
+			g.keyVals = make(algebra.Tuple, len(at.groupBy))
+			for i, j := range at.groupBy {
+				g.keyVals[i] = t[j]
+			}
+			for i := range g.accs {
+				g.accs[i].min = math.Inf(1)
+				g.accs[i].max = math.Inf(-1)
+			}
+			at.groups[k] = g
+		}
+		g.rows += sign
+		for i, s := range at.specs {
+			acc := &g.accs[i]
+			var v float64
+			if at.aggCols[i] >= 0 {
+				v = t[at.aggCols[i]].AsFloat()
+			}
+			switch s.Func {
+			case algebra.Count:
+				acc.cnt += sign
+			case algebra.Sum, algebra.Avg:
+				acc.sum += float64(sign) * v
+				acc.cnt += sign
+			case algebra.Min:
+				if sign > 0 {
+					if v < acc.min {
+						acc.min = v
+					}
+				} else if v <= acc.min {
+					minMaxDirty = true
+				}
+				acc.cnt += sign
+			case algebra.Max:
+				if sign > 0 {
+					if v > acc.max {
+						acc.max = v
+					}
+				} else if v >= acc.max {
+					minMaxDirty = true
+				}
+				acc.cnt += sign
+			}
+		}
+		if g.rows <= 0 {
+			delete(at.groups, k)
+		}
+	}
+	return minMaxDirty
+}
+
+// Rows materializes the current state as a relation in the output schema.
+func (at *AggTable) Rows() *storage.Relation {
+	out := storage.NewRelation(at.out)
+	for _, g := range at.groups {
+		row := make(algebra.Tuple, 0, len(at.out))
+		row = append(row, g.keyVals...)
+		for i, s := range at.specs {
+			acc := g.accs[i]
+			switch s.Func {
+			case algebra.Count:
+				row = append(row, algebra.NewInt(acc.cnt))
+			case algebra.Sum:
+				row = append(row, algebra.NewFloat(acc.sum))
+			case algebra.Avg:
+				if acc.cnt == 0 {
+					row = append(row, algebra.NewFloat(0))
+				} else {
+					row = append(row, algebra.NewFloat(acc.sum/float64(acc.cnt)))
+				}
+			case algebra.Min:
+				row = append(row, algebra.NewFloat(acc.min))
+			case algebra.Max:
+				row = append(row, algebra.NewFloat(acc.max))
+			}
+		}
+		out.Insert(row)
+	}
+	return out
+}
+
+// aggregate evaluates an aggregate operation from scratch.
+func aggregate(in *storage.Relation, op *dag.Op, out algebra.Schema) *storage.Relation {
+	at := NewAggTable(in.Schema(), op.GroupBy, op.Aggs, out)
+	at.Absorb(in, 1)
+	return at.Rows()
+}

@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/storage"
+	"repro/internal/volcano"
+)
+
+// Executor interprets physical plans against a database and a store of
+// materialized results.
+type Executor struct {
+	DB *storage.Database
+	// Mat holds materialized full results by equivalence-node ID.
+	Mat map[int]*storage.Relation
+	// Agg holds the mergeable state of materialized aggregate results.
+	Agg map[int]*AggTable
+}
+
+// NewExecutor wraps a database.
+func NewExecutor(db *storage.Database) *Executor {
+	return &Executor{
+		DB:  db,
+		Mat: make(map[int]*storage.Relation),
+		Agg: make(map[int]*AggTable),
+	}
+}
+
+// Run executes a full-result plan and returns the result in the plan
+// equivalence node's schema.
+func (ex *Executor) Run(p *volcano.PlanNode) *storage.Relation {
+	switch p.Access {
+	case volcano.Reuse:
+		r := ex.Mat[p.E.ID]
+		if r == nil {
+			panic(fmt.Sprintf("exec: plan reuses e%d which is not materialized", p.E.ID))
+		}
+		return r
+	case volcano.Probe:
+		panic("exec: probe node executed directly (must be handled by its join)")
+	}
+	op := p.Op
+	switch op.Kind {
+	case dag.OpScan:
+		return projectTo(ex.DB.MustRelation(op.Table), p.E.Schema)
+	case dag.OpSelect:
+		return projectTo(filterRel(ex.Run(p.Children[0]), op.Pred), p.E.Schema)
+	case dag.OpProject:
+		return projectTo(ex.Run(p.Children[0]), p.E.Schema)
+	case dag.OpJoin:
+		l := ex.Run(p.Children[0])
+		var r *storage.Relation
+		if p.Algo == volcano.AlgoINL {
+			// The probed inner is read from its stored location. The in-memory
+			// engine joins it hash-wise; the distinction only matters to the
+			// cost model.
+			r = ex.stored(p.Children[1].E)
+		} else {
+			r = ex.Run(p.Children[1])
+		}
+		return projectTo(hashJoin(l, r, op.Pred), p.E.Schema)
+	case dag.OpAggregate:
+		return projectTo(aggregate(ex.Run(p.Children[0]), op, p.E.Schema), p.E.Schema)
+	case dag.OpUnion:
+		return projectTo(unionAll(ex.Run(p.Children[0]), ex.Run(p.Children[1])), p.E.Schema)
+	case dag.OpMinus:
+		return projectTo(minus(ex.Run(p.Children[0]), ex.Run(p.Children[1])), p.E.Schema)
+	case dag.OpDedup:
+		return projectTo(dedup(ex.Run(p.Children[0])), p.E.Schema)
+	default:
+		panic("exec: unexpected op kind " + op.Kind.String())
+	}
+}
+
+// stored returns the on-disk image of a node: the base relation for table
+// leaves, the materialized copy otherwise.
+func (ex *Executor) stored(e *dag.Equiv) *storage.Relation {
+	if e.IsTable {
+		return projectTo(ex.DB.MustRelation(e.Tables[0]), e.Schema)
+	}
+	r := ex.Mat[e.ID]
+	if r == nil {
+		panic(fmt.Sprintf("exec: e%d is not stored", e.ID))
+	}
+	return r
+}
+
+// Materialize computes a plan and stores the result under its node ID. For
+// aggregate roots the mergeable state is captured so the result can be
+// maintained incrementally.
+func (ex *Executor) Materialize(p *volcano.PlanNode) *storage.Relation {
+	e := p.E
+	if p.Access == volcano.Compute && p.Op.Kind == dag.OpAggregate {
+		in := ex.Run(p.Children[0])
+		at := NewAggTable(in.Schema(), p.Op.GroupBy, p.Op.Aggs, e.Schema)
+		at.Absorb(in, 1)
+		ex.Agg[e.ID] = at
+		ex.Mat[e.ID] = projectTo(at.Rows(), e.Schema)
+		return ex.Mat[e.ID]
+	}
+	ex.Mat[e.ID] = ex.Run(p).Clone()
+	return ex.Mat[e.ID]
+}

@@ -1,0 +1,108 @@
+package greedy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/diff"
+)
+
+// TestIncrementalCostUpdateIsExact verifies that the incremental cost
+// update (§6.2 optimization 1) is a pure speedup: with the same benefit
+// evaluation order, forked Evals and from-scratch Evals must produce
+// identical selections. We compare with monotonicity both on and off.
+func TestIncrementalCostUpdateIsExact(t *testing.T) {
+	for _, mono := range []bool{false, true} {
+		en, roots := setup(t, 5, true, loc, lop)
+		fast := Config{IncludeDiffs: true, IncludeIndexes: true, DisableMonotonicity: mono}
+		slow := fast
+		slow.DisableIncremental = true
+		a := Run(en, roots, fast)
+		b := Run(en, roots, slow)
+		if math.Abs(a.FinalCost-b.FinalCost) > 1e-6*(1+b.FinalCost) {
+			t.Errorf("mono=%v: incremental cost update changed the outcome: %g vs %g",
+				mono, a.FinalCost, b.FinalCost)
+		}
+		if len(a.Chosen) != len(b.Chosen) {
+			t.Errorf("mono=%v: different pick counts: %d vs %d", mono, len(a.Chosen), len(b.Chosen))
+		}
+	}
+}
+
+// TestMonotonicityHeuristicNearOptimal documents the paper's caveat that the
+// monotonicity assumption "is not always true": the lazy heap may land on a
+// slightly different selection than naive greedy, but it must stay close and
+// must never be worse than doing nothing.
+func TestMonotonicityHeuristicNearOptimal(t *testing.T) {
+	en, roots := setup(t, 5, true, loc, lop)
+	lazy := Run(en, roots, DefaultConfig())
+	naiveCfg := DefaultConfig()
+	naiveCfg.DisableMonotonicity = true
+	naive := Run(en, roots, naiveCfg)
+	if lazy.FinalCost > lazy.InitialCost {
+		t.Errorf("lazy greedy must never hurt: %g → %g", lazy.InitialCost, lazy.FinalCost)
+	}
+	if lazy.FinalCost > naive.FinalCost*1.25 {
+		t.Errorf("lazy heap strayed too far from naive greedy: %g vs %g",
+			lazy.FinalCost, naive.FinalCost)
+	}
+	t.Logf("final cost: lazy=%g naive=%g (initial %g)", lazy.FinalCost, naive.FinalCost, lazy.InitialCost)
+}
+
+func TestMonotonicityAblationCostsMoreCalls(t *testing.T) {
+	en, roots := setup(t, 5, true, loc, lop)
+	lazy := Run(en, roots, DefaultConfig())
+	naiveCfg := DefaultConfig()
+	naiveCfg.DisableMonotonicity = true
+	naive := Run(en, roots, naiveCfg)
+	if naive.BenefitCalls <= lazy.BenefitCalls {
+		t.Errorf("naive greedy should need more benefit calls: %d vs %d",
+			naive.BenefitCalls, lazy.BenefitCalls)
+	}
+	t.Logf("benefit calls: lazy=%d naive=%d (%.1fx reduction)",
+		lazy.BenefitCalls, naive.BenefitCalls,
+		float64(naive.BenefitCalls)/float64(lazy.BenefitCalls))
+}
+
+func TestWorkloadQueriesAttractMaterializations(t *testing.T) {
+	// A heavy read-only query over the shared subexpression with tiny
+	// updates: the selector should materialize something that cuts the
+	// query's cost.
+	en, roots := setup(t, 1, true, loc)
+	var queryRoot *dag.Equiv
+	// Use the lop view's root as a pure query (registered in the DAG of
+	// setup only when passed; reuse loc's shared backbone instead: query
+	// the lineitem⋈orders subset node directly).
+	for _, e := range en.D.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("lineitem") && e.DependsOn("orders") {
+			queryRoot = e
+		}
+	}
+	if queryRoot == nil {
+		t.Fatal("shared subexpression missing")
+	}
+	queries := []WeightedQuery{{Root: queryRoot, Weight: 50}}
+
+	noQ := Run(en, roots, DefaultConfig())
+	withQ := RunWorkload(en, roots, queries, DefaultConfig())
+	// The workload total includes query cost, so compare the query's own
+	// evaluation cost before and after selection.
+	before := en.NewEval(diff.NewMatState()).FullPlanAt(queryRoot, en.FinalState()).CumCost
+	after := withQ.Eval.FullPlanAt(queryRoot, en.FinalState()).CumCost
+	if after >= before {
+		t.Errorf("heavy query should get cheaper through materialization: %g vs %g", after, before)
+	}
+	_ = noQ
+}
+
+func TestWorkloadInitialCostIncludesQueries(t *testing.T) {
+	en, roots := setup(t, 5, true, loc)
+	q := []WeightedQuery{{Root: roots[0], Weight: 10}}
+	plain := Run(en, roots, Config{})
+	loaded := RunWorkload(en, roots, q, Config{})
+	if loaded.InitialCost <= plain.InitialCost {
+		t.Errorf("query weight should raise the workload cost: %g vs %g",
+			loaded.InitialCost, plain.InitialCost)
+	}
+}

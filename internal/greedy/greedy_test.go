@@ -1,0 +1,235 @@
+package greedy
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/dag"
+	"repro/internal/diff"
+)
+
+// warehouse: lineitem(600k) → orders(150k) → customer(15k), part(20k).
+func warehouse(withPK bool) *catalog.Catalog {
+	cat := catalog.New()
+	add := func(name string, rows int64, cols []catalog.Column, pk string,
+		stats map[string]catalog.ColumnStats) {
+		cat.AddTable(&catalog.Table{
+			Name: name, Columns: cols, PrimaryKey: []string{pk},
+			Stats: catalog.TableStats{Rows: rows, Columns: stats},
+		})
+		if withPK {
+			cat.AddIndex(catalog.Index{Name: "pk_" + name, Table: name,
+				Columns: []string{pk}, Unique: true})
+		}
+	}
+	add("customer", 15000, []catalog.Column{
+		{Name: "c_key", Type: catalog.Int, Width: 8},
+		{Name: "c_mkt", Type: catalog.Int, Width: 8},
+	}, "c_key", map[string]catalog.ColumnStats{
+		"c_key": {Distinct: 15000, Min: 1, Max: 15000},
+		"c_mkt": {Distinct: 5, Min: 1, Max: 5},
+	})
+	add("orders", 150000, []catalog.Column{
+		{Name: "o_key", Type: catalog.Int, Width: 8},
+		{Name: "o_cust", Type: catalog.Int, Width: 8},
+		{Name: "o_date", Type: catalog.Date, Width: 8},
+	}, "o_key", map[string]catalog.ColumnStats{
+		"o_key":  {Distinct: 150000, Min: 1, Max: 150000},
+		"o_cust": {Distinct: 15000, Min: 1, Max: 15000},
+		"o_date": {Distinct: 2400, Min: 0, Max: 2400},
+	})
+	add("lineitem", 600000, []catalog.Column{
+		{Name: "l_order", Type: catalog.Int, Width: 8},
+		{Name: "l_part", Type: catalog.Int, Width: 8},
+		{Name: "l_qty", Type: catalog.Float, Width: 8},
+		{Name: "l_price", Type: catalog.Float, Width: 8},
+	}, "l_order", map[string]catalog.ColumnStats{
+		"l_order": {Distinct: 150000, Min: 1, Max: 150000},
+		"l_part":  {Distinct: 20000, Min: 1, Max: 20000},
+		"l_qty":   {Distinct: 50, Min: 1, Max: 50},
+		"l_price": {Distinct: 50000, Min: 1, Max: 100000},
+	})
+	add("part", 20000, []catalog.Column{
+		{Name: "p_key", Type: catalog.Int, Width: 8},
+		{Name: "p_type", Type: catalog.Int, Width: 8},
+	}, "p_key", map[string]catalog.ColumnStats{
+		"p_key":  {Distinct: 20000, Min: 1, Max: 20000},
+		"p_type": {Distinct: 150, Min: 1, Max: 150},
+	})
+	return cat
+}
+
+// lo is the shared selective subexpression: recent lineitem ⋈ orders
+// (o_date < 240 keeps ~10% of orders). loc extends it with customers of one
+// market segment; lop with parts of one type — the same sharing pattern as
+// the paper's Example 3.1.
+func lo(cat *catalog.Catalog) algebra.Node {
+	return algebra.NewSelect(
+		algebra.And(algebra.CmpConst("orders.o_date", algebra.LT, algebra.NewInt(240))),
+		algebra.NewJoin(algebra.And(algebra.Eq("lineitem.l_order", "orders.o_key")),
+			algebra.NewScan(cat, "lineitem"), algebra.NewScan(cat, "orders")))
+}
+func loc(cat *catalog.Catalog) algebra.Node {
+	return algebra.NewSelect(
+		algebra.And(algebra.CmpConst("customer.c_mkt", algebra.EQ, algebra.NewInt(1))),
+		algebra.NewJoin(algebra.And(algebra.Eq("orders.o_cust", "customer.c_key")),
+			lo(cat).(*algebra.Select), algebra.NewScan(cat, "customer")))
+}
+func lop(cat *catalog.Catalog) algebra.Node {
+	return algebra.NewSelect(
+		algebra.And(algebra.CmpConst("part.p_type", algebra.EQ, algebra.NewInt(7))),
+		algebra.NewJoin(algebra.And(algebra.Eq("lineitem.l_part", "part.p_key")),
+			lo(cat).(*algebra.Select), algebra.NewScan(cat, "part")))
+}
+
+func setup(t *testing.T, pct float64, withPK bool, views ...func(*catalog.Catalog) algebra.Node) (*diff.Engine, []*dag.Equiv) {
+	t.Helper()
+	cat := warehouse(withPK)
+	d := dag.New(cat)
+	var roots []*dag.Equiv
+	for i, v := range views {
+		roots = append(roots, d.AddQuery("v"+string(rune('0'+i)), v(cat)))
+	}
+	d.ApplySubsumption()
+	u := diff.UniformPercent(cat, []string{"customer", "orders", "lineitem", "part"}, pct)
+	return diff.NewEngine(d, cost.NewModel(cost.Default()), u), roots
+}
+
+func TestGreedyNeverHurts(t *testing.T) {
+	for _, pct := range []float64{1, 10, 50} {
+		en, roots := setup(t, pct, true, loc, lop)
+		res := Run(en, roots, DefaultConfig())
+		if res.FinalCost > res.InitialCost+1e-9 {
+			t.Errorf("pct=%g: greedy raised cost %g → %g", pct, res.InitialCost, res.FinalCost)
+		}
+	}
+}
+
+func TestGreedyFindsSharedSubexpression(t *testing.T) {
+	// Both views contain lineitem⋈orders; at low update rates Greedy should
+	// materialize something useful (the shared join, a differential of it,
+	// or an enabling index) and cut total cost meaningfully.
+	en, roots := setup(t, 5, true, loc, lop)
+	res := Run(en, roots, DefaultConfig())
+	if len(res.Chosen) == 0 {
+		t.Fatalf("greedy chose nothing despite shared subexpressions")
+	}
+	if res.FinalCost >= res.InitialCost*0.95 {
+		t.Errorf("expected >5%% improvement, got %g → %g", res.InitialCost, res.FinalCost)
+	}
+}
+
+func TestGreedyChoosesIndexesWhenNoneExist(t *testing.T) {
+	// Paper fig 5(b): with no predefined indices, required indices get
+	// chosen for materialization.
+	en, roots := setup(t, 5, false, loc, lop)
+	res := Run(en, roots, DefaultConfig())
+	foundIndex := false
+	for _, c := range res.Chosen {
+		if c.Change.Kind == diff.ChangeIndex {
+			foundIndex = true
+		}
+	}
+	if !foundIndex {
+		for _, c := range res.Chosen {
+			t.Logf("chose: %s benefit=%g", c.Desc, c.Benefit)
+		}
+		t.Errorf("no index chosen despite none existing")
+	}
+}
+
+func TestMonotonicityReducesBenefitCalls(t *testing.T) {
+	en, roots := setup(t, 5, true, loc, lop)
+	res := Run(en, roots, DefaultConfig())
+	// Naive greedy recomputes every candidate's benefit every iteration:
+	// candidates × (picks+1) calls. The lazy heap must do much better.
+	naive := res.CandidateCount * (len(res.Chosen) + 1)
+	if res.BenefitCalls >= naive {
+		t.Errorf("monotonicity optimization ineffective: %d calls vs naive %d",
+			res.BenefitCalls, naive)
+	}
+	if res.BenefitCalls < res.CandidateCount {
+		t.Errorf("every candidate needs at least one benefit call: %d < %d",
+			res.BenefitCalls, res.CandidateCount)
+	}
+}
+
+func TestSpaceBudgetRespected(t *testing.T) {
+	en, roots := setup(t, 5, true, loc, lop)
+	budget := float64(4 << 20) // 4 MB
+	cfg := DefaultConfig()
+	cfg.SpaceBudget = budget
+	res := Run(en, roots, cfg)
+	total := 0.0
+	for _, c := range res.Chosen {
+		total += c.Bytes
+	}
+	if total > budget {
+		t.Errorf("space budget violated: %g > %g", total, budget)
+	}
+}
+
+func TestMaxChoicesCap(t *testing.T) {
+	en, roots := setup(t, 5, true, loc, lop)
+	cfg := DefaultConfig()
+	cfg.MaxChoices = 2
+	res := Run(en, roots, cfg)
+	if len(res.Chosen) > 2 {
+		t.Errorf("cap violated: %d picks", len(res.Chosen))
+	}
+}
+
+func TestTemporaryVsPermanentShiftsWithUpdateRate(t *testing.T) {
+	// Paper §7.2: at high update rates more chosen results are temporary
+	// (recomputation cheaper); at low rates more are permanent.
+	permAt := func(pct float64) (perm, temp int) {
+		en, roots := setup(t, pct, true, loc, lop)
+		res := Run(en, roots, DefaultConfig())
+		for _, c := range res.Chosen {
+			if c.Change.Kind != diff.ChangeFull {
+				continue
+			}
+			if c.Permanent {
+				perm++
+			} else {
+				temp++
+			}
+		}
+		return
+	}
+	permLow, tempLow := permAt(1)
+	permHigh, tempHigh := permAt(80)
+	t.Logf("1%%: perm=%d temp=%d; 80%%: perm=%d temp=%d", permLow, tempLow, permHigh, tempHigh)
+	// Directional check only when both rates picked full results.
+	if permLow+tempLow > 0 && permHigh+tempHigh > 0 {
+		fracLow := float64(permLow) / float64(permLow+tempLow)
+		fracHigh := float64(permHigh) / float64(permHigh+tempHigh)
+		if fracHigh > fracLow {
+			t.Errorf("permanent fraction should not grow with update rate: %g → %g",
+				fracLow, fracHigh)
+		}
+	}
+}
+
+func TestDiffsOnlyConfig(t *testing.T) {
+	en, roots := setup(t, 5, true, loc)
+	cfg := Config{IncludeDiffs: false, IncludeIndexes: false}
+	res := Run(en, roots, cfg)
+	for _, c := range res.Chosen {
+		if c.Change.Kind != diff.ChangeFull {
+			t.Errorf("only full results should be candidates, got %s", c.Desc)
+		}
+	}
+}
+
+func TestSingleViewStillBenefits(t *testing.T) {
+	// Even a single view can benefit: sharing occurs across its own 2n
+	// maintenance expressions (paper §3.3, example 3.2).
+	en, roots := setup(t, 2, true, loc)
+	res := Run(en, roots, DefaultConfig())
+	if res.FinalCost > res.InitialCost {
+		t.Errorf("cost must not rise: %g → %g", res.InitialCost, res.FinalCost)
+	}
+}

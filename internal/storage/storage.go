@@ -1,0 +1,248 @@
+// Package storage provides the in-memory storage layer: multiset relations,
+// hash indexes, and delta relations (δ+ / δ−) that accumulate inserts and
+// deletes between view refreshes. The paper assumes updates are logged into
+// delta relations and handed to the refresh mechanism (§3); this package is
+// that mechanism's substrate.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+)
+
+// Relation is an in-memory multiset of tuples with a fixed schema.
+// Duplicates are represented positionally (a tuple may appear several times).
+type Relation struct {
+	schema algebra.Schema
+	rows   []algebra.Tuple
+}
+
+// NewRelation creates an empty relation with the given schema.
+func NewRelation(schema algebra.Schema) *Relation {
+	return &Relation{schema: schema}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() algebra.Schema { return r.schema }
+
+// Len returns the number of tuples (counting duplicates).
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Rows returns the backing slice. Callers must not mutate it.
+func (r *Relation) Rows() []algebra.Tuple { return r.rows }
+
+// Insert appends a tuple. The tuple must match the schema arity.
+func (r *Relation) Insert(t algebra.Tuple) {
+	if len(t) != len(r.schema) {
+		panic(fmt.Sprintf("storage: tuple arity %d does not match schema arity %d",
+			len(t), len(r.schema)))
+	}
+	r.rows = append(r.rows, t)
+}
+
+// InsertAll appends every tuple of another relation (multiset union in place).
+func (r *Relation) InsertAll(o *Relation) {
+	for _, t := range o.rows {
+		r.Insert(t)
+	}
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.schema)
+	out.rows = make([]algebra.Tuple, len(r.rows))
+	for i, t := range r.rows {
+		out.rows[i] = t.Clone()
+	}
+	return out
+}
+
+// key renders a tuple to a canonical string for multiset bookkeeping.
+func key(t algebra.Tuple) string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// Counts returns the multiset as a map tuple-key → multiplicity.
+func (r *Relation) Counts() map[string]int {
+	m := make(map[string]int, len(r.rows))
+	for _, t := range r.rows {
+		m[key(t)]++
+	}
+	return m
+}
+
+// SubtractAll removes each tuple of o once from r (multiset monus applied in
+// place). Tuples of o that are absent from r are ignored, matching multiset
+// difference semantics.
+func (r *Relation) SubtractAll(o *Relation) {
+	if o.Len() == 0 {
+		return
+	}
+	remove := o.Counts()
+	kept := r.rows[:0]
+	for _, t := range r.rows {
+		k := key(t)
+		if remove[k] > 0 {
+			remove[k]--
+			continue
+		}
+		kept = append(kept, t)
+	}
+	r.rows = kept
+}
+
+// EqualMultiset reports whether two relations hold exactly the same multiset
+// of tuples (schema order of columns must match).
+func EqualMultiset(a, b *Relation) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	ca := a.Counts()
+	for k, n := range b.Counts() {
+		if ca[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedStrings renders every tuple and sorts the renderings; useful in tests
+// for deterministic comparison output.
+func (r *Relation) SortedStrings() []string {
+	out := make([]string, len(r.rows))
+	for i, t := range r.rows {
+		out[i] = key(t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+
+// HashIndex maps the rendered value of one column to row positions in a
+// relation. It is rebuilt on demand; the executor uses it for index
+// nested-loop joins and for applying merge updates to materialized results.
+type HashIndex struct {
+	col     int
+	buckets map[string][]int
+}
+
+// BuildHashIndex indexes the column at position col of r.
+func BuildHashIndex(r *Relation, col int) *HashIndex {
+	ix := &HashIndex{col: col, buckets: make(map[string][]int)}
+	for i, t := range r.rows {
+		k := t[col].String()
+		ix.buckets[k] = append(ix.buckets[k], i)
+	}
+	return ix
+}
+
+// Probe returns the row positions whose indexed column equals v.
+func (ix *HashIndex) Probe(v algebra.Value) []int {
+	return ix.buckets[v.String()]
+}
+
+// ---------------------------------------------------------------------------
+
+// Delta carries the pending inserts and deletes for one base relation,
+// mirroring the paper's δ+r and δ−r.
+type Delta struct {
+	Plus  *Relation
+	Minus *Relation
+}
+
+// NewDelta creates an empty delta pair for the given schema.
+func NewDelta(schema algebra.Schema) *Delta {
+	return &Delta{Plus: NewRelation(schema), Minus: NewRelation(schema)}
+}
+
+// Empty reports whether both sides are empty.
+func (d *Delta) Empty() bool { return d.Plus.Len() == 0 && d.Minus.Len() == 0 }
+
+// ---------------------------------------------------------------------------
+
+// Database is a named collection of relations plus their pending deltas.
+type Database struct {
+	relations map[string]*Relation
+	deltas    map[string]*Delta
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		relations: make(map[string]*Relation),
+		deltas:    make(map[string]*Delta),
+	}
+}
+
+// Create registers an empty relation under a name.
+func (db *Database) Create(name string, schema algebra.Schema) *Relation {
+	if _, ok := db.relations[name]; ok {
+		panic("storage: duplicate relation " + name)
+	}
+	r := NewRelation(schema)
+	db.relations[name] = r
+	db.deltas[name] = NewDelta(schema)
+	return r
+}
+
+// Relation returns the named relation, or nil.
+func (db *Database) Relation(name string) *Relation { return db.relations[name] }
+
+// MustRelation returns the named relation or panics.
+func (db *Database) MustRelation(name string) *Relation {
+	r := db.relations[name]
+	if r == nil {
+		panic("storage: unknown relation " + name)
+	}
+	return r
+}
+
+// Delta returns the pending delta pair for a relation.
+func (db *Database) Delta(name string) *Delta { return db.deltas[name] }
+
+// LogInsert records a pending insert in the relation's δ+.
+func (db *Database) LogInsert(name string, t algebra.Tuple) {
+	db.deltas[name].Plus.Insert(t)
+}
+
+// LogDelete records a pending delete in the relation's δ−.
+func (db *Database) LogDelete(name string, t algebra.Tuple) {
+	db.deltas[name].Minus.Insert(t)
+}
+
+// ApplyInserts folds δ+ into the base relation and clears it. The refresh
+// driver calls this after propagating the insert differential (paper §3.1.1:
+// propagate, then update the base).
+func (db *Database) ApplyInserts(name string) {
+	d := db.deltas[name]
+	db.relations[name].InsertAll(d.Plus)
+	d.Plus = NewRelation(d.Plus.Schema())
+}
+
+// ApplyDeletes folds δ− into the base relation and clears it.
+func (db *Database) ApplyDeletes(name string) {
+	d := db.deltas[name]
+	db.relations[name].SubtractAll(d.Minus)
+	d.Minus = NewRelation(d.Minus.Schema())
+}
+
+// Names returns the sorted relation names.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.relations))
+	for n := range db.relations {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,150 @@
+package tpcd
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+)
+
+// NamedView pairs a view name with its definition.
+type NamedView struct {
+	Name string
+	Def  algebra.Node
+}
+
+// cmpLT builds column < int-constant.
+func cmpLT(col string, v int64) algebra.Cmp {
+	return algebra.CmpConst(col, algebra.LT, algebra.NewInt(v))
+}
+
+// cmpEQ builds column = int-constant.
+func cmpEQ(col string, v int64) algebra.Cmp {
+	return algebra.CmpConst(col, algebra.EQ, algebra.NewInt(v))
+}
+
+// loBase is the shared backbone of the benchmark views: lineitem ⋈ orders
+// restricted to a recent order-date window. dateLimit controls how selective
+// the view is (the paper's views are TPC-D query variants with selective
+// predicates).
+func loBase(cat *catalog.Catalog, dateLimit int64) algebra.Node {
+	return algebra.NewSelect(
+		algebra.And(cmpLT("orders.o_orderdate", dateLimit)),
+		algebra.NewJoin(algebra.And(algebra.Eq("lineitem.l_orderkey", "orders.o_orderkey")),
+			algebra.NewScan(cat, "lineitem"), algebra.NewScan(cat, "orders")))
+}
+
+// ViewJoin4 is the stand-alone benchmark view of Figure 3(a): a join of four
+// TPC-D relations (lineitem ⋈ orders ⋈ customer ⋈ nation) with a selective
+// date window.
+func ViewJoin4(cat *catalog.Catalog) algebra.Node {
+	return algebra.NewJoin(algebra.And(algebra.Eq("customer.c_nationkey", "nation.n_nationkey")),
+		algebra.NewJoin(algebra.And(algebra.Eq("orders.o_custkey", "customer.c_custkey")),
+			loBase(cat, Days/10), algebra.NewScan(cat, "customer")),
+		algebra.NewScan(cat, "nation"))
+}
+
+// ViewAgg4 is Figure 3(b): the same four-relation join with aggregation on
+// top (revenue per nation).
+func ViewAgg4(cat *catalog.Catalog) algebra.Node {
+	return algebra.NewAggregate(
+		[]algebra.ColRef{algebra.C("nation.n_nationkey")},
+		[]algebra.AggSpec{
+			{Func: algebra.Sum, Col: algebra.C("lineitem.l_extendedprice"), As: "revenue"},
+			{Func: algebra.Count, As: "cnt"},
+		},
+		ViewJoin4(cat).(*algebra.Join))
+}
+
+// ViewSet5 is the Figure 4 workload: five related views sharing the
+// lineitem⋈orders backbone with overlapping date windows (so subsumption and
+// common-subexpression sharing both arise). With withAgg set, each view
+// aggregates (Figure 4(b)); otherwise the joins are materialized directly
+// (Figure 4(a)).
+func ViewSet5(cat *catalog.Catalog, withAgg bool) []NamedView {
+	d := int64(Days / 10)
+	customerV := algebra.NewJoin(algebra.And(algebra.Eq("orders.o_custkey", "customer.c_custkey")),
+		loBase(cat, d), algebra.NewScan(cat, "customer"))
+	partV := algebra.NewJoin(algebra.And(algebra.Eq("lineitem.l_partkey", "part.p_partkey")),
+		loBase(cat, d), algebra.NewSelect(algebra.And(cmpLT("part.p_size", 10)),
+			algebra.NewScan(cat, "part")))
+	// The supplier view intentionally has NO date restriction: its
+	// lineitem⋈orders input exceeds the small buffer configuration, which is
+	// what produces the paper's buffer-size effect (§7.2) and the cost jump
+	// in Figure 4 ("the use of an algorithm that depends on an input fitting
+	// in memory").
+	suppV := algebra.NewJoin(algebra.And(algebra.Eq("lineitem.l_suppkey", "supplier.s_suppkey")),
+		algebra.NewJoin(algebra.And(algebra.Eq("lineitem.l_orderkey", "orders.o_orderkey")),
+			algebra.NewScan(cat, "lineitem"), algebra.NewScan(cat, "orders")),
+		algebra.NewScan(cat, "supplier"))
+	nationV := algebra.NewJoin(algebra.And(algebra.Eq("customer.c_nationkey", "nation.n_nationkey")),
+		algebra.NewJoin(algebra.And(algebra.Eq("orders.o_custkey", "customer.c_custkey")),
+			loBase(cat, d),
+			algebra.NewSelect(algebra.And(cmpEQ("customer.c_mktsegment", 1)),
+				algebra.NewScan(cat, "customer"))),
+		algebra.NewScan(cat, "nation"))
+	narrowV := algebra.NewSelect(algebra.And(cmpLT("lineitem.l_shipdate", d)),
+		loBase(cat, d).(*algebra.Select))
+
+	if !withAgg {
+		return []NamedView{
+			{Name: "cust_orders", Def: customerV},
+			{Name: "part_orders", Def: partV},
+			{Name: "supp_orders", Def: suppV},
+			{Name: "nation_orders", Def: nationV},
+			{Name: "recent_lineitems", Def: narrowV},
+		}
+	}
+	agg := func(group string, in algebra.Node) algebra.Node {
+		return algebra.NewAggregate(
+			[]algebra.ColRef{algebra.C(group)},
+			[]algebra.AggSpec{
+				{Func: algebra.Sum, Col: algebra.C("lineitem.l_extendedprice"), As: "revenue"},
+				{Func: algebra.Count, As: "cnt"},
+			}, in)
+	}
+	return []NamedView{
+		{Name: "rev_by_custnation", Def: agg("customer.c_nationkey", customerV)},
+		{Name: "rev_by_parttype", Def: agg("part.p_type", partV)},
+		{Name: "rev_by_suppnation", Def: agg("supplier.s_nationkey", suppV)},
+		{Name: "rev_by_nation", Def: agg("nation.n_nationkey", nationV)},
+		{Name: "rev_by_orderdate", Def: agg("orders.o_orderdate", narrowV)},
+	}
+}
+
+// ViewSet10 is the Figure 5 workload: ten materialized views, each a join of
+// three to four TPC-D relations, with substantial pairwise overlap.
+func ViewSet10(cat *catalog.Catalog) []NamedView {
+	d := int64(Days / 10)
+	out := ViewSet5(cat, false)
+	// Five more views over partsupp and wider windows.
+	psPart := algebra.NewJoin(algebra.And(algebra.Eq("partsupp.ps_partkey", "part.p_partkey")),
+		algebra.NewScan(cat, "partsupp"),
+		algebra.NewSelect(algebra.And(cmpLT("part.p_size", 10)), algebra.NewScan(cat, "part")))
+	psSupp := algebra.NewJoin(algebra.And(algebra.Eq("partsupp.ps_suppkey", "supplier.s_suppkey")),
+		algebra.NewScan(cat, "partsupp"), algebra.NewScan(cat, "supplier"))
+	psSuppNation := algebra.NewJoin(algebra.And(algebra.Eq("supplier.s_nationkey", "nation.n_nationkey")),
+		psSupp, algebra.NewScan(cat, "nation"))
+	wideCust := algebra.NewJoin(algebra.And(algebra.Eq("orders.o_custkey", "customer.c_custkey")),
+		loBase(cat, 2*d), algebra.NewScan(cat, "customer"))
+	custNation := algebra.NewJoin(algebra.And(algebra.Eq("customer.c_nationkey", "nation.n_nationkey")),
+		algebra.NewJoin(algebra.And(algebra.Eq("orders.o_custkey", "customer.c_custkey")),
+			algebra.NewSelect(algebra.And(cmpLT("orders.o_orderdate", d)),
+				algebra.NewScan(cat, "orders")),
+			algebra.NewScan(cat, "customer")),
+		algebra.NewScan(cat, "nation"))
+	out = append(out,
+		NamedView{Name: "ps_by_part", Def: psPart},
+		NamedView{Name: "ps_by_supp", Def: psSupp},
+		NamedView{Name: "ps_supp_nation", Def: psSuppNation},
+		NamedView{Name: "wide_cust_orders", Def: wideCust},
+		NamedView{Name: "cust_nation_orders", Def: custNation},
+	)
+	return out
+}
+
+// UpdatedRelations returns the relations receiving updates in the paper's
+// experiments ("we assume that all relations are updated by the same
+// percentage"). Region and nation are static dimension tables in TPC-D
+// practice, but the paper updates everything; we follow the paper.
+func UpdatedRelations() []string {
+	return []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"}
+}

@@ -1,0 +1,364 @@
+// Package viewdef parses a small SQL subset into logical algebra trees, so
+// that materialized views can be registered from text:
+//
+//	SELECT <cols and aggregates> FROM <tables> [WHERE <conjuncts>]
+//	    [GROUP BY <cols>]
+//
+// Supported: qualified column references (table.column), integer/float/
+// 'string' literals, comparison operators (= <> < <= > >=) joined by AND,
+// the aggregates COUNT(*), SUM, AVG, MIN, MAX with optional AS aliases, and
+// SELECT * (no projection). Joins are expressed implicitly: list the tables
+// in FROM and equate their columns in WHERE, exactly as the paper's TPC-D
+// workloads do.
+package viewdef
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+)
+
+// Parse converts a view definition into a logical tree over the catalog.
+// All failures — syntax errors and semantic ones such as unknown columns
+// (which the algebra layer reports by panicking, since its callers are
+// normally trusted code) — come back as errors.
+func Parse(cat *catalog.Catalog, sql string) (n algebra.Node, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			n, err = nil, fmt.Errorf("viewdef: %v", r)
+		}
+	}()
+	p := &parser{cat: cat, toks: lex(sql)}
+	n, err = p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("viewdef: %w", err)
+	}
+	return n, nil
+}
+
+// MustParse is Parse panicking on error; for tests and fixed workloads.
+func MustParse(cat *catalog.Catalog, sql string) algebra.Node {
+	n, err := Parse(cat, sql)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokOp    // comparison operators
+	tokPunct // , ( ) * .
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) []token {
+	var out []token
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',' || c == '(' || c == ')' || c == '*':
+			out = append(out, token{tokPunct, string(c)})
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			out = append(out, token{tokString, s[i+1 : min(j, len(s))]})
+			i = j + 1
+		case strings.ContainsRune("=<>!", c):
+			j := i + 1
+			for j < len(s) && strings.ContainsRune("=<>", rune(s[j])) {
+				j++
+			}
+			out = append(out, token{tokOp, s[i:j]})
+			i = j
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(s) && unicode.IsDigit(rune(s[i+1]))):
+			j := i + 1
+			for j < len(s) && (unicode.IsDigit(rune(s[j])) || s[j] == '.') {
+				j++
+			}
+			out = append(out, token{tokNumber, s[i:j]})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_' || s[j] == '.') {
+				j++
+			}
+			out = append(out, token{tokIdent, s[i:j]})
+			i = j
+		default:
+			out = append(out, token{tokPunct, string(c)})
+			i++
+		}
+	}
+	return append(out, token{tokEOF, ""})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- parser ---
+
+type parser struct {
+	cat  *catalog.Catalog
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) kw(s string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+func (p *parser) expectKw(s string) error {
+	if !p.kw(s) {
+		return fmt.Errorf("expected %s, found %q", s, p.peek().text)
+	}
+	return nil
+}
+func (p *parser) punct(s string) bool {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+type selItem struct {
+	col  algebra.ColRef
+	agg  *algebra.AggSpec
+	star bool
+}
+
+func (p *parser) parse() (algebra.Node, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	items, err := p.selectList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	var tables []string
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("expected table name, found %q", t.text)
+		}
+		if _, ok := p.cat.Table(t.text); !ok {
+			return nil, fmt.Errorf("unknown table %q", t.text)
+		}
+		tables = append(tables, t.text)
+		if !p.punct(",") {
+			break
+		}
+	}
+
+	var conjuncts []algebra.Cmp
+	if p.kw("WHERE") {
+		for {
+			c, err := p.comparison()
+			if err != nil {
+				return nil, err
+			}
+			conjuncts = append(conjuncts, c)
+			if !p.kw("AND") {
+				break
+			}
+		}
+	}
+
+	var groupBy []algebra.ColRef
+	if p.kw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tokIdent {
+				return nil, fmt.Errorf("expected group-by column, found %q", t.text)
+			}
+			groupBy = append(groupBy, algebra.C(t.text))
+			if !p.punct(",") {
+				break
+			}
+		}
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("unexpected trailing input %q", p.peek().text)
+	}
+
+	// Assemble: left-deep cross join, predicates on top (the DAG expansion
+	// pushes them down and enumerates join orders).
+	var n algebra.Node = algebra.NewScan(p.cat, tables[0])
+	for _, t := range tables[1:] {
+		n = algebra.NewJoin(algebra.TruePred(), n, algebra.NewScan(p.cat, t))
+	}
+	if len(conjuncts) > 0 {
+		n = algebra.NewSelect(algebra.Pred{Conjuncts: conjuncts}, n)
+	}
+
+	var aggs []algebra.AggSpec
+	var plain []algebra.ColRef
+	star := false
+	for _, it := range items {
+		switch {
+		case it.star:
+			star = true
+		case it.agg != nil:
+			aggs = append(aggs, *it.agg)
+		default:
+			plain = append(plain, it.col)
+		}
+	}
+	switch {
+	case len(aggs) > 0:
+		if star {
+			return nil, fmt.Errorf("* cannot be combined with aggregates")
+		}
+		if len(groupBy) == 0 {
+			groupBy = plain
+		}
+		return algebra.NewAggregate(groupBy, aggs, n), nil
+	case len(groupBy) > 0:
+		return nil, fmt.Errorf("GROUP BY requires at least one aggregate")
+	case star || len(plain) == 0:
+		return n, nil
+	default:
+		return algebra.NewProject(plain, n), nil
+	}
+}
+
+func (p *parser) selectList() ([]selItem, error) {
+	var out []selItem
+	for {
+		it, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, it)
+		if !p.punct(",") {
+			return out, nil
+		}
+	}
+}
+
+var aggFuncs = map[string]algebra.AggFunc{
+	"COUNT": algebra.Count, "SUM": algebra.Sum, "AVG": algebra.Avg,
+	"MIN": algebra.Min, "MAX": algebra.Max,
+}
+
+func (p *parser) selectItem() (selItem, error) {
+	if p.punct("*") {
+		return selItem{star: true}, nil
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return selItem{}, fmt.Errorf("expected column or aggregate, found %q", t.text)
+	}
+	if f, ok := aggFuncs[strings.ToUpper(t.text)]; ok && p.punct("(") {
+		spec := algebra.AggSpec{Func: f}
+		if p.punct("*") {
+			if f != algebra.Count {
+				return selItem{}, fmt.Errorf("%s(*) is not valid", t.text)
+			}
+		} else {
+			col := p.next()
+			if col.kind != tokIdent {
+				return selItem{}, fmt.Errorf("expected aggregate column, found %q", col.text)
+			}
+			spec.Col = algebra.C(col.text)
+		}
+		if !p.punct(")") {
+			return selItem{}, fmt.Errorf("expected ) after aggregate")
+		}
+		if p.kw("AS") {
+			name := p.next()
+			if name.kind != tokIdent {
+				return selItem{}, fmt.Errorf("expected alias after AS")
+			}
+			spec.As = name.text
+		}
+		return selItem{agg: &spec}, nil
+	}
+	return selItem{col: algebra.C(t.text)}, nil
+}
+
+var cmpOps = map[string]algebra.CmpOp{
+	"=": algebra.EQ, "<>": algebra.NE, "!=": algebra.NE,
+	"<": algebra.LT, "<=": algebra.LE, ">": algebra.GT, ">=": algebra.GE,
+}
+
+func (p *parser) comparison() (algebra.Cmp, error) {
+	l, err := p.operand()
+	if err != nil {
+		return algebra.Cmp{}, err
+	}
+	opTok := p.next()
+	op, ok := cmpOps[opTok.text]
+	if opTok.kind != tokOp || !ok {
+		return algebra.Cmp{}, fmt.Errorf("expected comparison operator, found %q", opTok.text)
+	}
+	r, err := p.operand()
+	if err != nil {
+		return algebra.Cmp{}, err
+	}
+	return algebra.Cmp{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) operand() (algebra.Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		return algebra.C(t.text), nil
+	case tokNumber:
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number %q", t.text)
+			}
+			return algebra.Const{Val: algebra.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", t.text)
+		}
+		return algebra.Const{Val: algebra.NewInt(i)}, nil
+	case tokString:
+		return algebra.Const{Val: algebra.NewString(t.text)}, nil
+	default:
+		return nil, fmt.Errorf("expected operand, found %q", t.text)
+	}
+}

@@ -1,0 +1,200 @@
+package viewdef
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/tpcd"
+)
+
+func TestParseSimpleJoin(t *testing.T) {
+	cat := tpcd.NewCatalog(0.01, true)
+	n, err := Parse(cat, `
+		SELECT *
+		FROM orders, customer
+		WHERE orders.o_custkey = customer.c_custkey AND orders.o_orderdate < 255`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := n.(*algebra.Select)
+	if !ok {
+		t.Fatalf("expected select root, got %T", n)
+	}
+	if len(sel.Pred.Conjuncts) != 2 {
+		t.Errorf("2 conjuncts expected")
+	}
+	tables := algebra.Tables(n)
+	if len(tables) != 2 || tables[0] != "customer" {
+		t.Errorf("tables = %v", tables)
+	}
+}
+
+func TestParseProjection(t *testing.T) {
+	cat := tpcd.NewCatalog(0.01, true)
+	n, err := Parse(cat, `SELECT orders.o_orderkey, orders.o_totalprice FROM orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.(*algebra.Project); !ok {
+		t.Fatalf("expected projection, got %T", n)
+	}
+	if len(n.Schema()) != 2 {
+		t.Errorf("schema = %v", n.Schema())
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	cat := tpcd.NewCatalog(0.01, true)
+	n, err := Parse(cat, `
+		SELECT customer.c_nationkey, SUM(orders.o_totalprice) AS rev, COUNT(*)
+		FROM orders, customer
+		WHERE orders.o_custkey = customer.c_custkey
+		GROUP BY customer.c_nationkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, ok := n.(*algebra.Aggregate)
+	if !ok {
+		t.Fatalf("expected aggregate, got %T", n)
+	}
+	if len(agg.GroupBy) != 1 || agg.GroupBy[0].QName() != "customer.c_nationkey" {
+		t.Errorf("group by = %v", agg.GroupBy)
+	}
+	if len(agg.Aggs) != 2 || agg.Aggs[0].As != "rev" {
+		t.Errorf("aggs = %v", agg.Aggs)
+	}
+	if !n.Schema().Has("agg.rev") {
+		t.Errorf("aliased output missing: %v", n.Schema())
+	}
+}
+
+func TestParseImplicitGroupBy(t *testing.T) {
+	cat := tpcd.NewCatalog(0.01, true)
+	n, err := Parse(cat, `SELECT orders.o_custkey, COUNT(*) FROM orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := n.(*algebra.Aggregate)
+	if len(agg.GroupBy) != 1 {
+		t.Errorf("plain columns should become the group-by")
+	}
+}
+
+func TestParseStringLiteralAndOps(t *testing.T) {
+	cat := tpcd.NewCatalog(0.01, true)
+	n, err := Parse(cat, `SELECT * FROM nation WHERE nation.n_name = 'nation-alpha' AND nation.n_nationkey >= 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := n.(*algebra.Select)
+	if len(sel.Pred.Conjuncts) != 2 {
+		t.Fatalf("conjuncts = %v", sel.Pred)
+	}
+	if sel.Pred.Conjuncts[0].R.(algebra.Const).Val.S != "nation-alpha" {
+		t.Errorf("string literal mishandled")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := tpcd.NewCatalog(0.01, true)
+	cases := []struct{ sql, wantSub string }{
+		{"FROM orders", "expected SELECT"},
+		{"SELECT * FROM nosuch", "unknown table"},
+		{"SELECT * FROM orders WHERE orders.o_custkey LIKE 3", "comparison operator"},
+		{"SELECT SUM(*) FROM orders", "not valid"},
+		{"SELECT orders.o_custkey FROM orders GROUP BY orders.o_custkey", "requires at least one aggregate"},
+		{"SELECT * FROM orders extra", "trailing"},
+		{"SELECT *, COUNT(*) FROM orders", "cannot be combined"},
+	}
+	for _, c := range cases {
+		_, err := Parse(cat, c.sql)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %v, want containing %q", c.sql, err, c.wantSub)
+		}
+	}
+}
+
+func TestParsedViewMatchesHandBuilt(t *testing.T) {
+	cat := tpcd.NewCatalog(0.01, true)
+	parsed := MustParse(cat, `
+		SELECT * FROM lineitem, orders
+		WHERE lineitem.l_orderkey = orders.o_orderkey AND orders.o_orderdate < 255`)
+	hand := algebra.NewSelect(
+		algebra.And(algebra.CmpConst("orders.o_orderdate", algebra.LT, algebra.NewInt(255))),
+		algebra.NewJoin(algebra.And(algebra.Eq("lineitem.l_orderkey", "orders.o_orderkey")),
+			algebra.NewScan(cat, "lineitem"), algebra.NewScan(cat, "orders")))
+	// Canonical DAG keys must coincide (same tables, same predicate set).
+	pt, ht := algebra.Tables(parsed), algebra.Tables(hand)
+	if len(pt) != len(ht) || pt[0] != ht[0] || pt[1] != ht[1] {
+		t.Errorf("tables differ: %v vs %v", pt, ht)
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	// Fuzz-ish robustness: Parse must return errors, not panic, on garbage.
+	cat := tpcd.NewCatalog(0.01, true)
+	inputs := []string{
+		"", "SELECT", "SELECT *", "SELECT * FROM", "SELECT * FROM orders WHERE",
+		"SELECT * FROM orders WHERE orders.o_custkey =",
+		"SELECT * FROM orders WHERE = 5",
+		"SELECT COUNT( FROM orders",
+		"SELECT * FROM orders GROUP",
+		"SELECT 'unterminated FROM orders",
+		"SELECT * FROM orders WHERE orders.o_custkey = 'x",
+		"((((", "SELECT ,,, FROM orders", "select * from orders where 1 <",
+		"SELECT * FROM orders WHERE orders.o_custkey <=> 3",
+		"SELECT SUM(orders.o_totalprice FROM orders",
+		"SELECT x.y.z FROM orders",
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%q) panicked: %v", in, r)
+				}
+			}()
+			_, _ = Parse(cat, in)
+		}()
+	}
+}
+
+func TestParseRandomBytesNeverPanics(t *testing.T) {
+	cat := tpcd.NewCatalog(0.01, true)
+	rng := []byte("SELECT FROM WHERE GROUP BY AND * , ( ) < > = ' orders customer 0123 .")
+	state := uint32(12345)
+	next := func() byte {
+		state = state*1664525 + 1013904223
+		return rng[int(state>>16)%len(rng)]
+	}
+	for trial := 0; trial < 500; trial++ {
+		n := int(state%120) + 1
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = next()
+		}
+		in := string(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", in, r)
+				}
+			}()
+			_, _ = Parse(cat, in)
+		}()
+	}
+}
+
+func TestParseMinMaxAvg(t *testing.T) {
+	cat := tpcd.NewCatalog(0.01, true)
+	n, err := Parse(cat, `
+		SELECT part.p_type, MIN(part.p_retailprice), MAX(part.p_retailprice), AVG(part.p_size)
+		FROM part GROUP BY part.p_type`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := n.(*algebra.Aggregate)
+	if len(agg.Aggs) != 3 {
+		t.Errorf("aggs = %v", agg.Aggs)
+	}
+}

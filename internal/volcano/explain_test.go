@@ -1,0 +1,62 @@
+package volcano
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/dag"
+)
+
+func TestExplainTreeShape(t *testing.T) {
+	_, _, opt, root := setup(t)
+	sz := dag.NewSizer(opt.Est, nil)
+	p := opt.Best(root, NewMatSet(), sz, map[int]*PlanNode{})
+	out := Explain(p)
+	if !strings.Contains(out, "join") {
+		t.Errorf("join missing from explain:\n%s", out)
+	}
+	for _, table := range []string{"fact", "dim1", "dim2"} {
+		if !strings.Contains(out, "scan "+table) {
+			t.Errorf("scan of %s missing:\n%s", table, out)
+		}
+	}
+	if !strings.Contains(out, "rows=") || !strings.Contains(out, "cost=") {
+		t.Errorf("estimates missing:\n%s", out)
+	}
+	// Tree connectors for a multi-level plan.
+	if !strings.Contains(out, "└─") {
+		t.Errorf("tree drawing missing:\n%s", out)
+	}
+}
+
+func TestExplainReuse(t *testing.T) {
+	_, _, opt, root := setup(t)
+	ms := NewMatSet()
+	ms.Full[root.ID] = true
+	sz := dag.NewSizer(opt.Est, nil)
+	p := opt.Best(root, ms, sz, map[int]*PlanNode{})
+	if out := Explain(p); !strings.Contains(out, "reuse materialized") {
+		t.Errorf("reuse should render:\n%s", out)
+	}
+}
+
+func TestExplainIndexProbe(t *testing.T) {
+	cat, d, opt, _ := setup(t)
+	cat.AddIndex(catalog.Index{Name: "ix", Table: "fact", Columns: []string{"f_d1"}})
+	var fd1 *dag.Equiv
+	for _, e := range d.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("fact") && e.DependsOn("dim1") {
+			fd1 = e
+		}
+	}
+	sz := dag.NewSizer(opt.Est, map[string]float64{"dim1": 10})
+	p := opt.Best(fd1, NewMatSet(), sz, map[int]*PlanNode{})
+	out := Explain(p)
+	if !strings.Contains(out, "index probe") {
+		t.Errorf("probe should render:\n%s", out)
+	}
+	if !strings.Contains(out, "inl join") {
+		t.Errorf("inl join should render:\n%s", out)
+	}
+}

@@ -1,0 +1,243 @@
+package volcano
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/dag"
+)
+
+// warehouse builds a small star schema: fact(1M rows) → dim1(1k), dim2(100).
+func warehouse() *catalog.Catalog {
+	cat := catalog.New()
+	cat.AddTable(&catalog.Table{
+		Name: "fact",
+		Columns: []catalog.Column{
+			{Name: "f_id", Type: catalog.Int, Width: 8},
+			{Name: "f_d1", Type: catalog.Int, Width: 8},
+			{Name: "f_d2", Type: catalog.Int, Width: 8},
+			{Name: "f_val", Type: catalog.Float, Width: 8},
+		},
+		PrimaryKey: []string{"f_id"},
+		Stats: catalog.TableStats{
+			Rows: 1_000_000,
+			Columns: map[string]catalog.ColumnStats{
+				"f_id":  {Distinct: 1_000_000, Min: 1, Max: 1_000_000},
+				"f_d1":  {Distinct: 1000, Min: 1, Max: 1000},
+				"f_d2":  {Distinct: 100, Min: 1, Max: 100},
+				"f_val": {Distinct: 10000, Min: 0, Max: 1000},
+			},
+		},
+	})
+	cat.AddTable(&catalog.Table{
+		Name: "dim1",
+		Columns: []catalog.Column{
+			{Name: "d1_id", Type: catalog.Int, Width: 8},
+			{Name: "d1_attr", Type: catalog.Int, Width: 8},
+		},
+		PrimaryKey: []string{"d1_id"},
+		Stats: catalog.TableStats{
+			Rows: 1000,
+			Columns: map[string]catalog.ColumnStats{
+				"d1_id":   {Distinct: 1000, Min: 1, Max: 1000},
+				"d1_attr": {Distinct: 50, Min: 1, Max: 50},
+			},
+		},
+	})
+	cat.AddTable(&catalog.Table{
+		Name: "dim2",
+		Columns: []catalog.Column{
+			{Name: "d2_id", Type: catalog.Int, Width: 8},
+			{Name: "d2_attr", Type: catalog.Int, Width: 8},
+		},
+		PrimaryKey: []string{"d2_id"},
+		Stats: catalog.TableStats{
+			Rows: 100,
+			Columns: map[string]catalog.ColumnStats{
+				"d2_id":   {Distinct: 100, Min: 1, Max: 100},
+				"d2_attr": {Distinct: 10, Min: 1, Max: 10},
+			},
+		},
+	})
+	return cat
+}
+
+func starView(cat *catalog.Catalog) algebra.Node {
+	return algebra.NewJoin(algebra.And(algebra.Eq("fact.f_d2", "dim2.d2_id")),
+		algebra.NewJoin(algebra.And(algebra.Eq("fact.f_d1", "dim1.d1_id")),
+			algebra.NewScan(cat, "fact"), algebra.NewScan(cat, "dim1")),
+		algebra.NewScan(cat, "dim2"))
+}
+
+func setup(t *testing.T) (*catalog.Catalog, *dag.DAG, *Optimizer, *dag.Equiv) {
+	t.Helper()
+	cat := warehouse()
+	d := dag.New(cat)
+	root := d.AddQuery("v", starView(cat))
+	opt := New(d, cost.NewModel(cost.Default()))
+	return cat, d, opt, root
+}
+
+func TestBestPlanExistsAndPositive(t *testing.T) {
+	_, _, opt, root := setup(t)
+	sz := dag.NewSizer(opt.Est, nil)
+	p := opt.Best(root, NewMatSet(), sz, map[int]*PlanNode{})
+	if p == nil || p.CumCost <= 0 {
+		t.Fatalf("plan missing or free: %v", p)
+	}
+	if p.Access != Compute || p.Op.Kind != dag.OpJoin {
+		t.Errorf("root should be a computed join")
+	}
+}
+
+func TestMemoReturnsSamePlan(t *testing.T) {
+	_, _, opt, root := setup(t)
+	sz := dag.NewSizer(opt.Est, nil)
+	memo := map[int]*PlanNode{}
+	p1 := opt.Best(root, NewMatSet(), sz, memo)
+	p2 := opt.Best(root, NewMatSet(), sz, memo)
+	if p1 != p2 {
+		t.Errorf("memoized call should return the identical plan")
+	}
+}
+
+func TestReuseBeatsRecompute(t *testing.T) {
+	_, _, opt, root := setup(t)
+	sz := dag.NewSizer(opt.Est, nil)
+	ms := NewMatSet()
+	ms.Full[root.ID] = true
+	p := opt.Best(root, ms, sz, map[int]*PlanNode{})
+	if p.Access != Reuse {
+		t.Errorf("materialized root should be reused, got %v", p)
+	}
+	noMat := opt.Best(root, NewMatSet(), sz, map[int]*PlanNode{})
+	if p.CumCost >= noMat.CumCost {
+		t.Errorf("reuse should be cheaper: %g vs %g", p.CumCost, noMat.CumCost)
+	}
+}
+
+func TestMaterializedSubexpressionLowersCost(t *testing.T) {
+	_, d, opt, root := setup(t)
+	sz := dag.NewSizer(opt.Est, nil)
+	base := opt.Cost(root, NewMatSet(), sz, map[int]*PlanNode{})
+	// Materialize the fact⋈dim1 subexpression.
+	var sub *dag.Equiv
+	for _, e := range d.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("fact") && e.DependsOn("dim1") {
+			sub = e
+		}
+	}
+	if sub == nil {
+		t.Fatalf("fact⋈dim1 node missing")
+	}
+	ms := NewMatSet()
+	ms.Full[sub.ID] = true
+	with := opt.Cost(root, ms, sz, map[int]*PlanNode{})
+	if with > base {
+		t.Errorf("extra materialization should never raise the best cost: %g vs %g", with, base)
+	}
+}
+
+func TestDeltaStateMakesINLAttractive(t *testing.T) {
+	cat, d, opt, _ := setup(t)
+	// An index on fact.f_d1 exists.
+	cat.AddIndex(catalog.Index{Name: "ix", Table: "fact", Columns: []string{"f_d1"}})
+	// Pretend dim1 shrank to its delta: 10 rows joining the 1M-row fact.
+	var fd1 *dag.Equiv
+	for _, e := range d.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("fact") && e.DependsOn("dim1") {
+			fd1 = e
+		}
+	}
+	sz := dag.NewSizer(opt.Est, map[string]float64{"dim1": 10})
+	p := opt.Best(fd1, NewMatSet(), sz, map[int]*PlanNode{})
+	if p.Algo != AlgoINL {
+		t.Errorf("tiny outer joining indexed fact should pick INL, got %v (%s)", p.Algo, p)
+	}
+	// The probed side must be the fact table.
+	if p.Children[1].Access != Probe || p.Children[1].E.Tables[0] != "fact" {
+		t.Errorf("inner probe should be fact: %s", p)
+	}
+}
+
+func TestNoIndexNoINL(t *testing.T) {
+	_, d, opt, _ := setup(t)
+	var fd1 *dag.Equiv
+	for _, e := range d.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("fact") && e.DependsOn("dim1") {
+			fd1 = e
+		}
+	}
+	sz := dag.NewSizer(opt.Est, map[string]float64{"dim1": 10})
+	p := opt.Best(fd1, NewMatSet(), sz, map[int]*PlanNode{})
+	if p.Algo == AlgoINL {
+		t.Errorf("no index declared: INL should be unavailable")
+	}
+}
+
+func TestChosenIndexOnMaterializedResultEnablesINL(t *testing.T) {
+	_, d, opt, root := setup(t)
+	var fd1 *dag.Equiv
+	for _, e := range d.Equivs {
+		if len(e.Tables) == 2 && e.DependsOn("fact") && e.DependsOn("dim1") {
+			fd1 = e
+		}
+	}
+	ms := NewMatSet()
+	ms.Full[fd1.ID] = true
+	ms.Indexes[IndexKey{EquivID: fd1.ID, Col: "fact.f_d2"}] = true
+	sz := dag.NewSizer(opt.Est, map[string]float64{"dim2": 1})
+	p := opt.Best(root, ms, sz, map[int]*PlanNode{})
+	if p.Algo != AlgoINL {
+		t.Errorf("materialized+indexed subexpression should be probed: %s", p)
+	}
+}
+
+func TestPlanStringRenders(t *testing.T) {
+	_, _, opt, root := setup(t)
+	sz := dag.NewSizer(opt.Est, nil)
+	p := opt.Best(root, NewMatSet(), sz, map[int]*PlanNode{})
+	s := p.String()
+	if s == "" || len(s) < 10 {
+		t.Errorf("plan rendering too short: %q", s)
+	}
+}
+
+func TestMatSetClone(t *testing.T) {
+	ms := NewMatSet()
+	ms.Full[3] = true
+	ms.Indexes[IndexKey{EquivID: 3, Col: "x"}] = true
+	cl := ms.Clone()
+	cl.Full[4] = true
+	if ms.Full[4] {
+		t.Errorf("clone leaked")
+	}
+	if !cl.Full[3] || !cl.Indexes[IndexKey{EquivID: 3, Col: "x"}] {
+		t.Errorf("clone should copy contents")
+	}
+	var nilSet *MatSet
+	if nilSet.Clone() == nil {
+		t.Errorf("nil clone should be usable")
+	}
+}
+
+func TestAggregatePlanCost(t *testing.T) {
+	cat := warehouse()
+	d := dag.New(cat)
+	agg := algebra.NewAggregate(
+		[]algebra.ColRef{algebra.C("dim1.d1_attr")},
+		[]algebra.AggSpec{{Func: algebra.Sum, Col: algebra.C("fact.f_val")}},
+		starView(cat))
+	root := d.AddQuery("v", agg)
+	opt := New(d, cost.NewModel(cost.Default()))
+	sz := dag.NewSizer(opt.Est, nil)
+	p := opt.Best(root, NewMatSet(), sz, map[int]*PlanNode{})
+	if p.Op.Kind != dag.OpAggregate {
+		t.Fatalf("root should aggregate")
+	}
+	if p.Rows != 50 {
+		t.Errorf("50 attr groups expected, got %g", p.Rows)
+	}
+}

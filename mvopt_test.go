@@ -1,0 +1,123 @@
+package repro_test
+
+// Integration tests of the public API surface, exercising the full pipeline
+// exactly as a downstream user would: catalog → SQL views → optimize →
+// runtime → refresh → verify.
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/catalog"
+	"repro/internal/tpcd"
+)
+
+func publicCatalog() *repro.Catalog {
+	cat := repro.NewCatalog()
+	cat.AddTable(&catalog.Table{
+		Name: "fact",
+		Columns: []catalog.Column{
+			{Name: "f_id", Type: catalog.Int, Width: 8},
+			{Name: "f_dim", Type: catalog.Int, Width: 8},
+			{Name: "f_val", Type: catalog.Float, Width: 8},
+		},
+		PrimaryKey: []string{"f_id"},
+		Stats: catalog.TableStats{Rows: 50000, Columns: map[string]catalog.ColumnStats{
+			"f_id":  {Distinct: 50000, Min: 1, Max: 50000},
+			"f_dim": {Distinct: 100, Min: 1, Max: 100},
+			"f_val": {Distinct: 1000, Min: 0, Max: 1000},
+		}},
+	})
+	cat.AddTable(&catalog.Table{
+		Name: "dim",
+		Columns: []catalog.Column{
+			{Name: "d_id", Type: catalog.Int, Width: 8},
+			{Name: "d_grp", Type: catalog.Int, Width: 8},
+		},
+		PrimaryKey: []string{"d_id"},
+		Stats: catalog.TableStats{Rows: 100, Columns: map[string]catalog.ColumnStats{
+			"d_id":  {Distinct: 100, Min: 1, Max: 100},
+			"d_grp": {Distinct: 10, Min: 1, Max: 10},
+		}},
+	})
+	cat.AddIndex(repro.Index{Name: "pk_fact", Table: "fact", Columns: []string{"f_id"}, Unique: true})
+	cat.AddIndex(repro.Index{Name: "pk_dim", Table: "dim", Columns: []string{"d_id"}, Unique: true})
+	return cat
+}
+
+func TestPublicAPIOptimize(t *testing.T) {
+	cat := publicCatalog()
+	sys := repro.NewSystem(cat, repro.Options{})
+	def, err := repro.ParseView(cat, `
+		SELECT dim.d_grp, SUM(fact.f_val) AS total, COUNT(*)
+		FROM fact, dim WHERE fact.f_dim = dim.d_id GROUP BY dim.d_grp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AddView("by_grp", def); err != nil {
+		t.Fatal(err)
+	}
+	u := repro.UniformUpdates(cat, []string{"fact"}, 5)
+	plan := sys.OptimizeGreedy(u, repro.DefaultGreedyConfig())
+	if plan.TotalCost <= 0 {
+		t.Fatalf("plan cost must be positive")
+	}
+	if !strings.Contains(plan.Report(), "by_grp") {
+		t.Errorf("report should mention the view")
+	}
+}
+
+func TestPublicAPICustomUpdateSpec(t *testing.T) {
+	cat := publicCatalog()
+	u := repro.NewUpdates([]string{"fact", "dim"})
+	u.Ins["fact"] = 1000
+	u.Del["fact"] = 200
+	u.Ins["dim"] = 2
+	if u.N() != 4 {
+		t.Fatalf("N = %d", u.N())
+	}
+	sys := repro.NewSystem(cat, repro.Options{})
+	def, _ := repro.ParseView(cat, `SELECT * FROM fact, dim WHERE fact.f_dim = dim.d_id`)
+	if _, err := sys.AddView("flat", def); err != nil {
+		t.Fatal(err)
+	}
+	plan := sys.OptimizeNoGreedy(u)
+	if plan.TotalCost <= 0 {
+		t.Fatalf("cost must be positive")
+	}
+}
+
+func TestPublicAPIBufferParams(t *testing.T) {
+	big := repro.DefaultCostParams()
+	small := repro.SmallBufferParams()
+	if small.BufferBlocks >= big.BufferBlocks {
+		t.Errorf("small buffer should be smaller: %d vs %d", small.BufferBlocks, big.BufferBlocks)
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	const sf = 0.001
+	cat := tpcd.NewCatalog(sf, true)
+	db := tpcd.Generate(cat, sf, 99)
+	sys := repro.NewSystem(cat, repro.Options{})
+	def, err := repro.ParseView(cat, `
+		SELECT customer.c_nationkey, SUM(orders.o_totalprice) AS rev, COUNT(*)
+		FROM orders, customer
+		WHERE orders.o_custkey = customer.c_custkey
+		GROUP BY customer.c_nationkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AddView("rev", def); err != nil {
+		t.Fatal(err)
+	}
+	u := repro.UniformUpdates(cat, []string{"orders"}, 10)
+	plan := sys.OptimizeGreedy(u, repro.DefaultGreedyConfig())
+	rt := plan.NewRuntime(db)
+	tpcd.LogUniformUpdates(cat, db, []string{"orders"}, 10, 123)
+	rt.Refresh()
+	if err := rt.Verify(); err != nil {
+		t.Fatalf("refresh diverged: %v", err)
+	}
+}

@@ -23,6 +23,8 @@ func reportSeries(b *testing.B, s *bench.Series) {
 	b.ReportMetric(s.NoGreedy[0], "noGreedy@1%")
 	b.ReportMetric(s.Greedy[0], "greedy@1%")
 	b.ReportMetric(s.NoGreedy[0]/s.Greedy[0], "ratio@1%")
+	b.ReportMetric(s.NoGreedy[last], "noGreedy@80%")
+	b.ReportMetric(s.Greedy[last], "greedy@80%")
 	b.ReportMetric(s.NoGreedy[last]/s.Greedy[last], "ratio@80%")
 }
 

@@ -1,0 +1,79 @@
+package algebra
+
+import "fmt"
+
+// BoundPred is a predicate compiled against one schema: every column
+// reference is resolved to a tuple index once, so per-row evaluation does no
+// string rendering or schema lookups. Executor operators bind predicates
+// once per input and evaluate the bound form in their row loops.
+type BoundPred struct {
+	cs []boundCmp
+}
+
+// boundCmp is one compiled conjunct. A side is either a tuple index (idx >=
+// 0) or a literal (idx == -1).
+type boundCmp struct {
+	op     CmpOp
+	li, ri int
+	lv, rv Value
+}
+
+// Bind compiles the predicate against a schema. It panics if a referenced
+// column is missing, mirroring ColRef.Eval.
+func (p Pred) Bind(s Schema) BoundPred {
+	out := BoundPred{cs: make([]boundCmp, len(p.Conjuncts))}
+	side := func(e Expr) (int, Value) {
+		switch v := e.(type) {
+		case ColRef:
+			i := s.IndexOf(v.QName())
+			if i < 0 {
+				panic(fmt.Sprintf("algebra: column %s not in schema %s", v.QName(), s))
+			}
+			return i, Value{}
+		case Const:
+			return -1, v.Val
+		default:
+			panic(fmt.Sprintf("algebra: cannot bind expression %T", e))
+		}
+	}
+	for i, c := range p.Conjuncts {
+		bc := boundCmp{op: c.Op}
+		bc.li, bc.lv = side(c.L)
+		bc.ri, bc.rv = side(c.R)
+		out.cs[i] = bc
+	}
+	return out
+}
+
+// Eval evaluates the bound conjunction against a tuple.
+func (p BoundPred) Eval(t Tuple) bool {
+	for _, c := range p.cs {
+		l, r := c.lv, c.rv
+		if c.li >= 0 {
+			l = t[c.li]
+		}
+		if c.ri >= 0 {
+			r = t[c.ri]
+		}
+		cmp := l.Compare(r)
+		var ok bool
+		switch c.op {
+		case EQ:
+			ok = cmp == 0
+		case NE:
+			ok = cmp != 0
+		case LT:
+			ok = cmp < 0
+		case LE:
+			ok = cmp <= 0
+		case GT:
+			ok = cmp > 0
+		case GE:
+			ok = cmp >= 0
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+package algebra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestNaNSingletonClass: NaN equals only NaN (canonical hash), sorts before
+// every other numeric, so equality stays an equivalence relation consistent
+// with Hash.
+func TestNaNSingletonClass(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	if !nan.Equal(NewFloat(math.NaN())) {
+		t.Errorf("NaN must equal NaN")
+	}
+	if nan.Hash() != NewFloat(math.NaN()).Hash() {
+		t.Errorf("NaN must hash like NaN")
+	}
+	for _, o := range []Value{NewFloat(5), NewInt(5), NewDate(0), NewFloat(math.Inf(-1))} {
+		if nan.Equal(o) {
+			t.Errorf("NaN must not equal %v", o)
+		}
+		if nan.Compare(o) != -1 || o.Compare(nan) != 1 {
+			t.Errorf("NaN must sort before %v", o)
+		}
+	}
+}
+
+// TestHashConsistentWithEqual: values that compare equal must hash equal,
+// including across numeric kinds (Int 1, Float 1.0 and Date 1 are one
+// equivalence class under Compare).
+func TestHashConsistentWithEqual(t *testing.T) {
+	vals := []Value{
+		NewInt(0), NewFloat(0), NewFloat(-0.0), NewDate(0),
+		NewInt(1), NewFloat(1), NewDate(1),
+		NewInt(-7), NewFloat(-7),
+		NewFloat(1.5),
+		NewString(""), NewString("a"), NewString("1"),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if a.Equal(b) && a.Hash() != b.Hash() {
+				t.Errorf("%v == %v but hashes differ", a, b)
+			}
+		}
+	}
+	if NewInt(1).Hash() == NewString("1").Hash() {
+		t.Errorf("numeric 1 and string \"1\" should hash apart (tagged)")
+	}
+}
+
+// TestLargeIntsStayDistinct: int64 values above 2^53 share a float64 image;
+// they may collide in the hash, but exact integer comparison must keep them
+// distinct in every equality-confirmed operator (dedup, group-by, join,
+// multiset maps).
+func TestLargeIntsStayDistinct(t *testing.T) {
+	const big = int64(1) << 53 // 9007199254740992
+	a, b := NewInt(big), NewInt(big+1)
+	if float64(big) != float64(big+1) {
+		t.Fatalf("test premise broken: 2^53 and 2^53+1 should share a float64 image")
+	}
+	if a.Equal(b) {
+		t.Errorf("%d and %d must not compare equal", big, big+1)
+	}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Errorf("exact integer ordering expected for %d vs %d", big, big+1)
+	}
+	// Hash consistency still holds for genuinely equal values.
+	if a.Hash() != NewInt(big).Hash() {
+		t.Errorf("equal values must hash equal")
+	}
+	if !(Tuple{a}).Equal(Tuple{NewDate(big)}) {
+		t.Errorf("Int and Date with the same payload are one integer class")
+	}
+	// Transitivity across kinds: Float(2^53) equals Int(2^53) exactly, and
+	// must NOT equal Int(2^53+1) — integer-vs-float comparison is exact, so
+	// equality stays an equivalence relation (real-number semantics).
+	f := NewFloat(float64(big))
+	if !a.Equal(f) {
+		t.Errorf("Int(2^53) must equal Float(2^53): exactly the same real number")
+	}
+	if b.Equal(f) {
+		t.Errorf("Int(2^53+1) must not equal Float(2^53): they differ as reals")
+	}
+	if f.Compare(b) != -1 {
+		t.Errorf("Float(2^53) < Int(2^53+1) expected, got %d", f.Compare(b))
+	}
+	// Equal values hash equal across kinds; the unequal pair may collide in
+	// the hash (same float64 image) but is separated by equality confirmation.
+	if a.Hash() != f.Hash() {
+		t.Errorf("Int(2^53) and Float(2^53) compare equal, must hash equal")
+	}
+}
+
+// TestTupleHashBoundaries: value boundaries must matter, so adjacent string
+// columns cannot smear into each other.
+func TestTupleHashBoundaries(t *testing.T) {
+	a := Tuple{NewString("ab"), NewString("c")}
+	b := Tuple{NewString("a"), NewString("bc")}
+	if a.Hash() == b.Hash() {
+		t.Errorf("(ab,c) and (a,bc) must hash apart")
+	}
+	if a.Equal(b) {
+		t.Errorf("(ab,c) and (a,bc) must not compare equal")
+	}
+}
+
+// TestHashColsMatchesSubsetHash: hashing a column subset equals hashing the
+// projected tuple.
+func TestHashColsMatchesSubsetHash(t *testing.T) {
+	tp := Tuple{NewInt(3), NewString("x"), NewFloat(2.5)}
+	sub := Tuple{tp[2], tp[0]}
+	if tp.HashCols([]int{2, 0}) != sub.Hash() {
+		t.Errorf("HashCols must agree with hashing the projected tuple")
+	}
+}
+
+// TestEqualOn confirms join-key equality across differently-shaped tuples.
+func TestEqualOn(t *testing.T) {
+	l := Tuple{NewInt(1), NewString("a")}
+	r := Tuple{NewString("zzz"), NewFloat(1), NewString("a")}
+	if !EqualOn(l, []int{0, 1}, r, []int{1, 2}) {
+		t.Errorf("keys (1,a) should match across kinds")
+	}
+	if EqualOn(l, []int{0}, r, []int{2}) {
+		t.Errorf("1 vs \"a\" must not match")
+	}
+}
+
+// TestTupleHashRandomRoundTrip: equal tuples (built independently) hash
+// equal, and hashing is deterministic.
+func TestTupleHashRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(5)
+		a := make(Tuple, n)
+		b := make(Tuple, n)
+		for j := 0; j < n; j++ {
+			switch rng.Intn(3) {
+			case 0:
+				v := int64(rng.Intn(100))
+				a[j], b[j] = NewInt(v), NewFloat(float64(v))
+			case 1:
+				v := rng.Float64()
+				a[j], b[j] = NewFloat(v), NewFloat(v)
+			default:
+				s := string(rune('a' + rng.Intn(26)))
+				a[j], b[j] = NewString(s), NewString(s)
+			}
+		}
+		if !a.Equal(b) {
+			t.Fatalf("constructed tuples should be equal: %v vs %v", a, b)
+		}
+		if a.Hash() != b.Hash() {
+			t.Fatalf("equal tuples must hash equal: %v vs %v", a, b)
+		}
+	}
+}

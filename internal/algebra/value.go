@@ -8,6 +8,7 @@ package algebra
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 
 	"repro/internal/catalog"
@@ -50,14 +51,42 @@ func (v Value) AsFloat() float64 {
 
 // Compare orders two values: -1, 0, +1. All numeric kinds (Int/Date/Float)
 // form one class and compare numerically with each other; strings form a
-// second class ordered after every numeric. This keeps Compare a total order
-// (needed by sort-based operators) even across mixed kinds.
+// second class ordered after every numeric. Numeric comparison is exact —
+// integer kinds against each other on int64, integer against float without
+// rounding through float64 — so it is the real-number total order even
+// above 2^53, and distinct large keys stay distinct in joins, dedup and
+// multiset maps. NaN is its own singleton class ordered before every other
+// numeric, which keeps equality an equivalence relation consistent with
+// Hash.
 func (v Value) Compare(o Value) int {
 	vn, on := v.numericKind(), o.numericKind()
 	switch {
 	case vn && on:
-		a, b := v.AsFloat(), o.AsFloat()
+		vi, oi := v.intKind(), o.intKind()
 		switch {
+		case vi && oi:
+			switch {
+			case v.I < o.I:
+				return -1
+			case v.I > o.I:
+				return 1
+			default:
+				return 0
+			}
+		case vi:
+			return cmpIntFloat(v.I, o.F)
+		case oi:
+			return -cmpIntFloat(o.I, v.F)
+		}
+		a, b := v.F, o.F
+		an, bn := a != a, b != b
+		switch {
+		case an && bn:
+			return 0 // NaN equals only NaN…
+		case an:
+			return -1 // …and sorts before every other numeric
+		case bn:
+			return 1
 		case a < b:
 			return -1
 		case a > b:
@@ -82,6 +111,40 @@ func (v Value) Compare(o Value) int {
 
 func (v Value) numericKind() bool {
 	return v.Kind == catalog.Int || v.Kind == catalog.Float || v.Kind == catalog.Date
+}
+
+func (v Value) intKind() bool {
+	return v.Kind == catalog.Int || v.Kind == catalog.Date
+}
+
+// cmpIntFloat compares an int64 and a float64 as exact real numbers: no
+// rounding of the integer through float64, so the order stays transitive
+// above 2^53.
+func cmpIntFloat(i int64, f float64) int {
+	switch {
+	case f != f: // NaN sorts before every other numeric
+		return 1
+	case f >= 9223372036854775808.0: // 2^63: above every int64
+		return -1
+	case f < -9223372036854775808.0: // below every int64
+		return 1
+	}
+	t := int64(f) // exact: |f| < 2^63, truncates toward zero
+	switch {
+	case i < t:
+		return -1
+	case i > t:
+		return 1
+	}
+	frac := f - math.Trunc(f)
+	switch {
+	case frac > 0:
+		return -1
+	case frac < 0:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // Equal reports value equality under Compare semantics.

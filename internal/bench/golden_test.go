@@ -1,0 +1,58 @@
+package bench
+
+// Determinism guard for the parallel benefit evaluation: on the Figure 5(a)
+// ten-view workload, greedy's chosen set and FinalCost must be bit-identical
+// between a serial run (Workers=1) and concurrent runs, and across repeated
+// concurrent runs. Run under -race in CI to also catch data races in the
+// worker pool.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/greedy"
+	"repro/internal/tpcd"
+)
+
+// fig5aChosen runs greedy on the Figure 5(a) workload with the given worker
+// count and renders the chosen set plus costs as one canonical string.
+func fig5aChosen(workers int) string {
+	cat := tpcd.NewCatalog(ScaleFactor, true)
+	s := core.NewSystem(cat, core.Options{})
+	for _, v := range tpcd.ViewSet10(cat) {
+		if _, err := s.AddView(v.Name, v.Def); err != nil {
+			panic(err)
+		}
+	}
+	u := diff.UniformPercent(cat, tpcd.UpdatedRelations(), 10)
+	cfg := greedy.DefaultConfig()
+	cfg.Workers = workers
+	plan := s.OptimizeGreedy(u, cfg)
+	out := fmt.Sprintf("initial=%v final=%v candidates=%d calls=%d\n",
+		plan.Greedy.InitialCost, plan.Greedy.FinalCost,
+		plan.Greedy.CandidateCount, plan.Greedy.BenefitCalls)
+	for _, c := range plan.Greedy.Chosen {
+		out += fmt.Sprintf("%s benefit=%v bytes=%v permanent=%v\n",
+			c.Desc, c.Benefit, c.Bytes, c.Permanent)
+	}
+	return out
+}
+
+func TestFig5aGoldenPlanParallelDeterminism(t *testing.T) {
+	serial := fig5aChosen(1)
+	if serial == "" {
+		t.Fatalf("serial run chose nothing")
+	}
+	// Workers=4 forces a real pool even on single-core machines where the
+	// GOMAXPROCS default (Workers=0) degenerates to serial; both must match
+	// the serial golden output exactly.
+	for trial, workers := range []int{4, 0, 4} {
+		parallel := fig5aChosen(workers)
+		if parallel != serial {
+			t.Fatalf("trial %d (workers=%d): parallel run diverged from serial run\nserial:\n%s\nparallel:\n%s",
+				trial, workers, serial, parallel)
+		}
+	}
+}

@@ -98,8 +98,8 @@ func (m *Manager) Execute(name string, def algebra.Node) (*volcano.PlanNode, err
 
 	// Cost with and without the cache.
 	ms := m.matSet()
-	plan := m.Opt.Best(root, ms, m.sizer, map[int]*volcano.PlanNode{})
-	cold := m.Opt.Best(root, volcano.NewMatSet(), m.sizer, map[int]*volcano.PlanNode{})
+	plan := m.Opt.Best(root, ms, m.sizer, m.Opt.NewMemo())
+	cold := m.Opt.Best(root, volcano.NewMatSet(), m.sizer, m.Opt.NewMemo())
 	m.CachedCost += plan.CumCost
 	m.ColdCost += cold.CumCost
 
@@ -166,14 +166,14 @@ func (m *Manager) consider(root *dag.Equiv, ms *volcano.MatSet, costNow float64)
 		}
 		trial := ms.Clone()
 		trial.Full[cand.ID] = true
-		with := m.Opt.Best(root, trial, m.sizer, map[int]*volcano.PlanNode{}).CumCost
+		with := m.Opt.Best(root, trial, m.sizer, m.Opt.NewMemo()).CumCost
 		projected := costNow - with
 		if projected <= 0 {
 			continue
 		}
 		if m.admit(cand, bytes, projected) {
 			ms = m.matSet()
-			costNow = m.Opt.Best(root, ms, m.sizer, map[int]*volcano.PlanNode{}).CumCost
+			costNow = m.Opt.Best(root, ms, m.sizer, m.Opt.NewMemo()).CumCost
 		}
 	}
 }

@@ -144,15 +144,22 @@ type Catalog struct {
 	tableOrder  []string
 	indexes     map[string]Index // by Key()
 	foreignKeys []ForeignKey
+	// leadCount counts indexes per (table, leading column) so HasIndex — a
+	// planner hot path — is a single map probe instead of a scan.
+	leadCount map[string]int
 }
 
 // New returns an empty catalog.
 func New() *Catalog {
 	return &Catalog{
-		tables:  make(map[string]*Table),
-		indexes: make(map[string]Index),
+		tables:    make(map[string]*Table),
+		indexes:   make(map[string]Index),
+		leadCount: make(map[string]int),
 	}
 }
+
+// leadKey identifies a (table, leading column) pair.
+func leadKey(table, col string) string { return table + "\x00" + col }
 
 // AddTable registers a table. It panics on duplicate names or empty schemas:
 // catalogs are built by code, not user input, so mistakes are programmer bugs.
@@ -198,22 +205,24 @@ func (c *Catalog) AddIndex(ix Index) {
 	if _, ok := c.tables[ix.Table]; !ok {
 		panic("catalog: index on unknown table " + ix.Table)
 	}
+	if _, ok := c.indexes[ix.Key()]; !ok && len(ix.Columns) > 0 {
+		c.leadCount[leadKey(ix.Table, ix.Columns[0])]++
+	}
 	c.indexes[ix.Key()] = ix
 }
 
 // DropIndex removes an index definition if present.
 func (c *Catalog) DropIndex(table string, columns []string) {
-	delete(c.indexes, Index{Table: table, Columns: columns}.Key())
+	key := Index{Table: table, Columns: columns}.Key()
+	if _, ok := c.indexes[key]; ok && len(columns) > 0 {
+		c.leadCount[leadKey(table, columns[0])]--
+	}
+	delete(c.indexes, key)
 }
 
 // HasIndex reports whether an index exists whose leading column is col.
 func (c *Catalog) HasIndex(table, col string) bool {
-	for _, ix := range c.indexes {
-		if ix.Table == table && len(ix.Columns) > 0 && ix.Columns[0] == col {
-			return true
-		}
-	}
-	return false
+	return c.leadCount[leadKey(table, col)] > 0
 }
 
 // Indexes returns all index definitions, sorted by key for determinism.

@@ -88,6 +88,43 @@ type Op struct {
 	Aggs    []algebra.AggSpec
 	// Cols is set for OpProject.
 	Cols []algebra.ColRef
+
+	// innerCols caches, per child of an OpJoin, the inner-side column of the
+	// first usable equi-conjunct (or ""). Precomputed at insertion so the
+	// planners' index-probe checks do no per-call string work.
+	innerCols [2]string
+}
+
+// InnerJoinCol returns the inner-side column of the first equi-conjunct of a
+// join when inner is one of its children, or "".
+func (op *Op) InnerJoinCol(inner *Equiv) string {
+	for i, c := range op.Children {
+		if c == inner {
+			return op.innerCols[i]
+		}
+	}
+	return ""
+}
+
+// innerColOf finds the first equi-conjunct column present in a schema.
+func innerColOf(pred algebra.Pred, s algebra.Schema) string {
+	for _, c := range pred.Conjuncts {
+		if c.Op != algebra.EQ {
+			continue
+		}
+		lc, lok := c.L.(algebra.ColRef)
+		rc, rok := c.R.(algebra.ColRef)
+		if !lok || !rok {
+			continue
+		}
+		if s.Has(lc.QName()) {
+			return lc.QName()
+		}
+		if s.Has(rc.QName()) {
+			return rc.QName()
+		}
+	}
+	return ""
 }
 
 // Equiv is an OR-node: a set of equivalent expressions, one per child Op.
@@ -181,6 +218,11 @@ func (d *DAG) addOp(parent *Equiv, op *Op) *Op {
 	parent.Ops = append(parent.Ops, op)
 	for _, c := range op.Children {
 		c.Parents = append(c.Parents, op)
+	}
+	if op.Kind == OpJoin {
+		for i, c := range op.Children {
+			op.innerCols[i] = innerColOf(op.Pred, c.Schema)
+		}
 	}
 	return op
 }

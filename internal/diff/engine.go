@@ -51,9 +51,15 @@ type Engine struct {
 	szDelta []*dag.Sizer // index 1..2n; [0] unused
 
 	ancCache map[int][]int
+	// finalRows memoizes FinalRows by equivalence-node ID; filled during
+	// construction so lookups are an index, not a map probe.
+	finalRows []float64
 }
 
-// NewEngine precomputes the per-state sizers.
+// NewEngine precomputes the per-state sizers. Every sizer memo and the
+// ancestor cache are fully prewarmed here: after construction the engine is
+// immutable, which is what lets the greedy heuristic evaluate candidate
+// benefits concurrently against a shared engine.
 func NewEngine(d *dag.DAG, model *cost.Model, u *UpdateSpec) *Engine {
 	opt := volcano.New(d, model)
 	en := &Engine{
@@ -70,6 +76,18 @@ func NewEngine(d *dag.DAG, model *cost.Model, u *UpdateSpec) *Engine {
 		eff[u.Table(i)] = u.Rows(i)
 		en.szDelta[i] = dag.NewSizer(opt.Est, eff)
 	}
+	en.finalRows = make([]float64, len(d.Equivs))
+	final := en.FinalState()
+	for _, e := range d.Equivs {
+		for k := 0; k <= u.N(); k++ {
+			en.szState[k].Rows(e)
+		}
+		for i := 1; i <= u.N(); i++ {
+			en.szDelta[i].Rows(e)
+		}
+		en.finalRows[e.ID] = en.szState[final].Rows(e)
+		en.AncestorsOf(e.ID)
+	}
 	return en
 }
 
@@ -84,9 +102,10 @@ func (en *Engine) DeltaRows(e *dag.Equiv, i int) float64 {
 	return en.szDelta[i].Rows(e)
 }
 
-// FinalRows estimates the full result size of e after all updates.
+// FinalRows estimates the full result size of e after all updates
+// (memoized at construction).
 func (en *Engine) FinalRows(e *dag.Equiv) float64 {
-	return en.szState[en.FinalState()].Rows(e)
+	return en.finalRows[e.ID]
 }
 
 // AncestorsOf returns the IDs of all strict ancestors of the node (every
@@ -172,8 +191,12 @@ type Eval struct {
 	En *Engine
 	MS *MatState
 
-	fullMemo []map[int]*volcano.PlanNode
-	diffMemo map[DiffKey]*DiffPlan
+	// fullMemo holds one plan memo per update state, created lazily.
+	fullMemo []*volcano.Memo
+	// diffMemo is a flat (update, equiv) → plan cache: index
+	// (update-1)*len(D.Equivs) + equivID. Slice-backed for the same reason
+	// as volcano.Memo: Fork copies it per benefit evaluation.
+	diffMemo []*DiffPlan
 }
 
 // NewEval creates an evaluation context for a materialization state.
@@ -181,18 +204,23 @@ func (en *Engine) NewEval(ms *MatState) *Eval {
 	return &Eval{
 		En:       en,
 		MS:       ms,
-		fullMemo: make([]map[int]*volcano.PlanNode, en.U.N()+1),
-		diffMemo: make(map[DiffKey]*DiffPlan),
+		fullMemo: make([]*volcano.Memo, en.U.N()+1),
+		diffMemo: make([]*DiffPlan, en.U.N()*len(en.D.Equivs)),
 	}
+}
+
+// stateMemo returns (creating on demand) the full-plan memo for state k.
+func (ev *Eval) stateMemo(k int) *volcano.Memo {
+	if ev.fullMemo[k] == nil {
+		ev.fullMemo[k] = ev.En.Opt.NewMemo()
+	}
+	return ev.fullMemo[k]
 }
 
 // FullPlanAt returns the best access plan (compute or reuse) for the full
 // result of e at update state k.
 func (ev *Eval) FullPlanAt(e *dag.Equiv, k int) *volcano.PlanNode {
-	if ev.fullMemo[k] == nil {
-		ev.fullMemo[k] = make(map[int]*volcano.PlanNode)
-	}
-	return ev.En.Opt.Best(e, ev.MS.Fulls, ev.En.szState[k], ev.fullMemo[k])
+	return ev.En.Opt.Best(e, ev.MS.Fulls, ev.En.szState[k], ev.stateMemo(k))
 }
 
 // ComputeCost is the paper's compcost(e, M): cheapest way to actually
@@ -200,27 +228,21 @@ func (ev *Eval) FullPlanAt(e *dag.Equiv, k int) *volcano.PlanNode {
 // own copy.
 func (ev *Eval) ComputeCost(e *dag.Equiv) float64 {
 	k := ev.En.FinalState()
-	if ev.fullMemo[k] == nil {
-		ev.fullMemo[k] = make(map[int]*volcano.PlanNode)
-	}
-	return ev.En.Opt.BestCompute(e, ev.MS.Fulls, ev.En.szState[k], ev.fullMemo[k]).CumCost
+	return ev.En.Opt.BestCompute(e, ev.MS.Fulls, ev.En.szState[k], ev.stateMemo(k)).CumCost
 }
 
 // ComputePlan is the plan behind ComputeCost.
 func (ev *Eval) ComputePlan(e *dag.Equiv) *volcano.PlanNode {
 	k := ev.En.FinalState()
-	if ev.fullMemo[k] == nil {
-		ev.fullMemo[k] = make(map[int]*volcano.PlanNode)
-	}
-	return ev.En.Opt.BestCompute(e, ev.MS.Fulls, ev.En.szState[k], ev.fullMemo[k])
+	return ev.En.Opt.BestCompute(e, ev.MS.Fulls, ev.En.szState[k], ev.stateMemo(k))
 }
 
 // DiffPlan returns the cheapest plan that computes δ(e, i) — the paper's
 // diffCost(e, M, i); reuse of e's own materialized differential is handled
 // at consumers (DiffAccess), matching the paper's definition.
 func (ev *Eval) DiffPlan(e *dag.Equiv, i int) *DiffPlan {
-	key := DiffKey{e.ID, i}
-	if p, ok := ev.diffMemo[key]; ok {
+	idx := (i-1)*len(ev.En.D.Equivs) + e.ID
+	if p := ev.diffMemo[idx]; p != nil {
 		return p
 	}
 	var out *DiffPlan
@@ -244,7 +266,7 @@ func (ev *Eval) DiffPlan(e *dag.Equiv, i int) *DiffPlan {
 			panic(fmt.Sprintf("diff: no differential plan for %s update %d", e, i))
 		}
 	}
-	ev.diffMemo[key] = out
+	ev.diffMemo[idx] = out
 	return out
 }
 
@@ -372,7 +394,7 @@ func (ev *Eval) diffOp(e *dag.Equiv, op *dag.Op, i int) *DiffPlan {
 		// Index nested loops into the stored full input: the differential is
 		// usually tiny, so probing beats scanning — this is what makes
 		// indexes so valuable for maintenance (paper §7.2).
-		if col := innerJoinCol(op, oth); col != "" &&
+		if col := op.InnerJoinCol(oth); col != "" &&
 			(oth.IsTable || ev.MS.Fulls.Has(oth)) &&
 			ev.MS.Fulls.HasIndex(en.D.Cat, oth, col) {
 			inl := &DiffPlan{
@@ -491,28 +513,6 @@ func distributiveAggs(op *dag.Op) bool {
 		}
 	}
 	return true
-}
-
-// innerJoinCol returns the inner-side column of the first usable
-// equi-conjunct of a join, or "".
-func innerJoinCol(op *dag.Op, inner *dag.Equiv) string {
-	for _, c := range op.Pred.Conjuncts {
-		if c.Op != algebra.EQ {
-			continue
-		}
-		lc, lok := c.L.(algebra.ColRef)
-		rc, rok := c.R.(algebra.ColRef)
-		if !lok || !rok {
-			continue
-		}
-		if inner.Schema.Has(lc.QName()) {
-			return lc.QName()
-		}
-		if inner.Schema.Has(rc.QName()) {
-			return rc.QName()
-		}
-	}
-	return ""
 }
 
 // fkPruned implements the foreign-key emptiness argument of §5.3: the

@@ -58,64 +58,41 @@ func (ev *Eval) Fork(change Change) *Eval {
 	ms := ev.MS.Clone()
 	change.Apply(ms)
 	out := ev.En.NewEval(ms)
+	nE := len(ev.En.D.Equivs)
+	ancestors := ev.En.AncestorsOf(change.EquivID)
+	copy(out.diffMemo, ev.diffMemo)
 
 	switch change.Kind {
 	case ChangeDiff:
 		// Full plans are unaffected entirely.
-		for k := range ev.fullMemo {
-			out.fullMemo[k] = copyFullMemo(ev.fullMemo[k])
-		}
-		dirty := ancestorSet(ev.En, change.EquivID, false)
-		for key, p := range ev.diffMemo {
-			if key.Update == change.Update && dirty[key.EquivID] {
-				continue
+		for k, m := range ev.fullMemo {
+			if m != nil {
+				out.fullMemo[k] = m.Clone()
 			}
-			out.diffMemo[key] = p
+		}
+		base := (change.Update - 1) * nE
+		for _, a := range ancestors {
+			out.diffMemo[base+a] = nil
 		}
 	default: // ChangeFull, ChangeIndex
-		dirty := ancestorSet(ev.En, change.EquivID, true)
 		for k, m := range ev.fullMemo {
 			if m == nil {
 				continue
 			}
-			out.fullMemo[k] = make(map[int]*volcano.PlanNode, len(m))
-			for id, p := range m {
-				if dirty[id] {
-					continue
-				}
-				out.fullMemo[k][id] = p
+			c := m.Clone()
+			c.Delete(change.EquivID)
+			for _, a := range ancestors {
+				c.Delete(a)
+			}
+			out.fullMemo[k] = c
+		}
+		for i := 1; i <= ev.En.U.N(); i++ {
+			base := (i - 1) * nE
+			out.diffMemo[base+change.EquivID] = nil
+			for _, a := range ancestors {
+				out.diffMemo[base+a] = nil
 			}
 		}
-		for key, p := range ev.diffMemo {
-			if dirty[key.EquivID] {
-				continue
-			}
-			out.diffMemo[key] = p
-		}
-	}
-	return out
-}
-
-// ancestorSet returns the dirty-node set for a change on id: the strict
-// ancestors, plus the node itself when includeSelf is set.
-func ancestorSet(en *Engine, id int, includeSelf bool) map[int]bool {
-	dirty := make(map[int]bool)
-	if includeSelf {
-		dirty[id] = true
-	}
-	for _, a := range en.AncestorsOf(id) {
-		dirty[a] = true
-	}
-	return dirty
-}
-
-func copyFullMemo(m map[int]*volcano.PlanNode) map[int]*volcano.PlanNode {
-	if m == nil {
-		return nil
-	}
-	out := make(map[int]*volcano.PlanNode, len(m))
-	for k, v := range m {
-		out[k] = v
 	}
 	return out
 }

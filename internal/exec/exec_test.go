@@ -157,7 +157,7 @@ func TestRunSimpleJoinPlan(t *testing.T) {
 	root := d.AddQuery("v", ordersCustomer(f.cat))
 	opt := volcano.New(d, cost.NewModel(cost.Default()))
 	sz := dag.NewSizer(opt.Est, nil)
-	p := opt.Best(root, volcano.NewMatSet(), sz, map[int]*volcano.PlanNode{})
+	p := opt.Best(root, volcano.NewMatSet(), sz, opt.NewMemo())
 	ex := NewExecutor(f.db)
 	got := ex.Run(p)
 	if got.Len() != 200 {

@@ -12,19 +12,55 @@ package exec
 import (
 	"fmt"
 	"math"
-	"strings"
 
 	"repro/internal/algebra"
 	"repro/internal/dag"
 	"repro/internal/storage"
 )
 
-// filterRel applies a predicate.
+// tupleArena amortizes output-row allocation on executor hot paths: rows are
+// carved out of shared blocks instead of one make per row. Blocks grow
+// geometrically from the first row's exact size (capped at 8192 values), so
+// a tiny differential result does not pin a large block — carved rows escape
+// into retained relations and keep their whole block reachable. Only the
+// most recent row may be returned with undo.
+type tupleArena struct {
+	buf  []algebra.Value
+	next int // capacity of the next block
+}
+
+// alloc carves a row of n values. The region may hold stale values from an
+// undone row — callers must write every slot.
+func (a *tupleArena) alloc(n int) algebra.Tuple {
+	if cap(a.buf)-len(a.buf) < n {
+		sz := a.next
+		if sz < n {
+			sz = n
+		}
+		a.buf = make([]algebra.Value, 0, sz)
+		a.next = 2 * sz
+		if a.next > 8192 {
+			a.next = 8192
+		}
+	}
+	row := a.buf[len(a.buf) : len(a.buf)+n : len(a.buf)+n]
+	a.buf = a.buf[:len(a.buf)+n]
+	return row
+}
+
+// undo releases the most recent alloc(n) (used when a row fails a residual
+// predicate and never escapes).
+func (a *tupleArena) undo(n int) {
+	a.buf = a.buf[:len(a.buf)-n]
+}
+
+// filterRel applies a predicate, bound once against the input schema.
 func filterRel(in *storage.Relation, pred algebra.Pred) *storage.Relation {
 	out := storage.NewRelation(in.Schema())
+	bp := pred.Bind(in.Schema())
 	for _, t := range in.Rows() {
-		if pred.Eval(in.Schema(), t) {
-			out.Insert(t)
+		if bp.Eval(t) {
+			out.Append(t)
 		}
 	}
 	return out
@@ -45,12 +81,14 @@ func projectTo(in *storage.Relation, target algebra.Schema) *storage.Relation {
 		idx[i] = j
 	}
 	out := storage.NewRelation(target)
+	out.Reserve(in.Len())
+	var arena tupleArena
 	for _, t := range in.Rows() {
-		row := make(algebra.Tuple, len(idx))
+		row := arena.alloc(len(idx))
 		for i, j := range idx {
 			row[i] = t[j]
 		}
-		out.Insert(row)
+		out.Append(row)
 	}
 	return out
 }
@@ -92,32 +130,32 @@ func splitJoinPred(pred algebra.Pred, ls, rs algebra.Schema) (lCols, rCols []int
 	return
 }
 
-func keyOf(t algebra.Tuple, cols []int) string {
-	var b strings.Builder
-	for i, c := range cols {
-		if i > 0 {
-			b.WriteByte('\x1f')
-		}
-		b.WriteString(t[c].String())
-	}
-	return b.String()
-}
-
-// hashJoin joins two relations under a conjunctive predicate. With no
-// equi-conjunct it degrades to nested loops.
+// hashJoin joins two relations under a conjunctive predicate, probing with
+// precomputed column-subset hashes and confirming key equality on collision.
+// The hash table is built on the smaller input (the differential side of a
+// maintenance join is usually tiny) and probed with the larger; output rows
+// always keep the l++r column layout. With no equi-conjunct it degrades to
+// nested loops.
 func hashJoin(l, r *storage.Relation, pred algebra.Pred) *storage.Relation {
 	ls, rs := l.Schema(), r.Schema()
 	outSchema := ls.Concat(rs)
 	out := storage.NewRelation(outSchema)
 	lCols, rCols, residual := splitJoinPred(pred, ls, rs)
-	res := algebra.Pred{Conjuncts: residual}
+	hasResidual := len(residual) > 0
+	var res algebra.BoundPred
+	if hasResidual {
+		res = algebra.Pred{Conjuncts: residual}.Bind(outSchema)
+	}
 
+	var arena tupleArena
 	emit := func(lt, rt algebra.Tuple) {
-		row := make(algebra.Tuple, 0, len(lt)+len(rt))
-		row = append(row, lt...)
-		row = append(row, rt...)
-		if res.IsTrue() || res.Eval(outSchema, row) {
-			out.Insert(row)
+		row := arena.alloc(len(lt) + len(rt))
+		copy(row, lt)
+		copy(row[len(lt):], rt)
+		if !hasResidual || res.Eval(row) {
+			out.Append(row)
+		} else {
+			arena.undo(len(row))
 		}
 	}
 	if len(lCols) == 0 {
@@ -128,14 +166,29 @@ func hashJoin(l, r *storage.Relation, pred algebra.Pred) *storage.Relation {
 		}
 		return out
 	}
-	buckets := make(map[string][]algebra.Tuple, r.Len())
-	for _, rt := range r.Rows() {
-		k := keyOf(rt, rCols)
-		buckets[k] = append(buckets[k], rt)
+	build, bCols := l, lCols
+	probe, pCols := r, rCols
+	buildIsLeft := true
+	if r.Len() < l.Len() {
+		build, bCols = r, rCols
+		probe, pCols = l, lCols
+		buildIsLeft = false
 	}
-	for _, lt := range l.Rows() {
-		for _, rt := range buckets[keyOf(lt, lCols)] {
-			emit(lt, rt)
+	buckets := make(map[uint64][]algebra.Tuple, build.Len())
+	for _, bt := range build.Rows() {
+		h := bt.HashCols(bCols)
+		buckets[h] = append(buckets[h], bt)
+	}
+	for _, pt := range probe.Rows() {
+		for _, bt := range buckets[pt.HashCols(pCols)] {
+			if !algebra.EqualOn(pt, pCols, bt, bCols) {
+				continue // hash collision across distinct keys
+			}
+			if buildIsLeft {
+				emit(bt, pt)
+			} else {
+				emit(pt, bt)
+			}
 		}
 	}
 	return out
@@ -155,26 +208,27 @@ func minus(l, r *storage.Relation) *storage.Relation {
 	return out
 }
 
-// dedup eliminates duplicates.
+// dedup eliminates duplicates via the typed tuple hash, confirming equality
+// on collision.
 func dedup(in *storage.Relation) *storage.Relation {
 	out := storage.NewRelation(in.Schema())
-	seen := map[string]bool{}
+	seen := make(map[uint64][]algebra.Tuple, in.Len())
 	for _, t := range in.Rows() {
-		k := keyOf(t, allCols(in))
-		if !seen[k] {
-			seen[k] = true
-			out.Insert(t)
+		h := t.Hash()
+		bucket := seen[h]
+		dup := false
+		for _, prev := range bucket {
+			if prev.Equal(t) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(bucket, t)
+			out.Append(t)
 		}
 	}
 	return out
-}
-
-func allCols(in *storage.Relation) []int {
-	cols := make([]int, len(in.Schema()))
-	for i := range cols {
-		cols[i] = i
-	}
-	return cols
 }
 
 // ---------------------------------------------------------------------------
@@ -200,19 +254,22 @@ type groupState struct {
 }
 
 // AggTable is mergeable aggregation state: the authoritative representation
-// of a materialized aggregate view.
+// of a materialized aggregate view. Groups are keyed by the typed hash of
+// the group-by columns; the rare hash collision chains distinct key tuples
+// within one bucket, disambiguated by value equality.
 type AggTable struct {
 	groupBy []int // input column indexes
 	aggCols []int // input column indexes per spec (-1 for COUNT)
 	specs   []algebra.AggSpec
 	out     algebra.Schema
-	groups  map[string]*groupState
+	groups  map[uint64][]*groupState
+	n       int // live group count
 }
 
 // NewAggTable builds empty aggregation state for an aggregate operation over
 // an input schema, producing the output schema out.
 func NewAggTable(in algebra.Schema, groupBy []algebra.ColRef, specs []algebra.AggSpec, out algebra.Schema) *AggTable {
-	at := &AggTable{specs: specs, out: out, groups: make(map[string]*groupState)}
+	at := &AggTable{specs: specs, out: out, groups: make(map[uint64][]*groupState)}
 	for _, g := range groupBy {
 		j := in.IndexOf(g.QName())
 		if j < 0 {
@@ -239,8 +296,16 @@ func NewAggTable(in algebra.Schema, groupBy []algebra.ColRef, specs []algebra.Ag
 // have been invalidated (a deletion matching the current extremum).
 func (at *AggTable) Absorb(in *storage.Relation, sign int64) (minMaxDirty bool) {
 	for _, t := range in.Rows() {
-		k := keyOf(t, at.groupBy)
-		g := at.groups[k]
+		h := t.HashCols(at.groupBy)
+		chain := at.groups[h]
+		var g *groupState
+		gi := -1
+		for i, cand := range chain {
+			if cand.keyMatches(t, at.groupBy) {
+				g, gi = cand, i
+				break
+			}
+		}
 		if g == nil {
 			g = &groupState{accs: make([]aggAcc, len(at.specs))}
 			g.keyVals = make(algebra.Tuple, len(at.groupBy))
@@ -251,7 +316,9 @@ func (at *AggTable) Absorb(in *storage.Relation, sign int64) (minMaxDirty bool) 
 				g.accs[i].min = math.Inf(1)
 				g.accs[i].max = math.Inf(-1)
 			}
-			at.groups[k] = g
+			at.groups[h] = append(chain, g)
+			gi = len(chain)
+			at.n++
 		}
 		g.rows += sign
 		for i, s := range at.specs {
@@ -287,38 +354,62 @@ func (at *AggTable) Absorb(in *storage.Relation, sign int64) (minMaxDirty bool) 
 			}
 		}
 		if g.rows <= 0 {
-			delete(at.groups, k)
+			chain := at.groups[h]
+			chain[gi] = chain[len(chain)-1]
+			chain = chain[:len(chain)-1]
+			if len(chain) == 0 {
+				delete(at.groups, h)
+			} else {
+				at.groups[h] = chain
+			}
+			at.n--
 		}
 	}
 	return minMaxDirty
 }
 
+// keyMatches reports whether the group's key equals the group-by columns of
+// an input tuple.
+func (g *groupState) keyMatches(t algebra.Tuple, groupBy []int) bool {
+	for i, j := range groupBy {
+		if !g.keyVals[i].Equal(t[j]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Rows materializes the current state as a relation in the output schema.
 func (at *AggTable) Rows() *storage.Relation {
 	out := storage.NewRelation(at.out)
-	for _, g := range at.groups {
-		row := make(algebra.Tuple, 0, len(at.out))
-		row = append(row, g.keyVals...)
-		for i, s := range at.specs {
-			acc := g.accs[i]
-			switch s.Func {
-			case algebra.Count:
-				row = append(row, algebra.NewInt(acc.cnt))
-			case algebra.Sum:
-				row = append(row, algebra.NewFloat(acc.sum))
-			case algebra.Avg:
-				if acc.cnt == 0 {
-					row = append(row, algebra.NewFloat(0))
-				} else {
-					row = append(row, algebra.NewFloat(acc.sum/float64(acc.cnt)))
+	out.Reserve(at.n)
+	var arena tupleArena
+	width := len(at.out)
+	for _, chain := range at.groups {
+		for _, g := range chain {
+			row := arena.alloc(width)[:0]
+			row = append(row, g.keyVals...)
+			for i, s := range at.specs {
+				acc := g.accs[i]
+				switch s.Func {
+				case algebra.Count:
+					row = append(row, algebra.NewInt(acc.cnt))
+				case algebra.Sum:
+					row = append(row, algebra.NewFloat(acc.sum))
+				case algebra.Avg:
+					if acc.cnt == 0 {
+						row = append(row, algebra.NewFloat(0))
+					} else {
+						row = append(row, algebra.NewFloat(acc.sum/float64(acc.cnt)))
+					}
+				case algebra.Min:
+					row = append(row, algebra.NewFloat(acc.min))
+				case algebra.Max:
+					row = append(row, algebra.NewFloat(acc.max))
 				}
-			case algebra.Min:
-				row = append(row, algebra.NewFloat(acc.min))
-			case algebra.Max:
-				row = append(row, algebra.NewFloat(acc.max))
 			}
+			out.Append(row)
 		}
-		out.Insert(row)
 	}
 	return out
 }

@@ -15,7 +15,10 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/dag"
@@ -49,6 +52,13 @@ type Config struct {
 	// scratch instead of only the candidate's ancestors. For ablation
 	// studies; results are identical, only slower.
 	DisableIncremental bool
+	// Workers bounds the worker pool for concurrent benefit evaluation (the
+	// initial heap fill, and every sweep of the naive ablation path). 0 uses
+	// runtime.GOMAXPROCS(0); 1 forces serial evaluation. Results are
+	// identical at any setting: each candidate's benefit is computed on its
+	// own forked Eval against the immutable engine, and results are merged
+	// in candidate order.
+	Workers int
 }
 
 // DefaultConfig enables everything, unbounded.
@@ -171,7 +181,9 @@ func (s *Selector) totalCost(ev *diff.Eval, set *chosenSet) float64 {
 	return total
 }
 
-// bytesOf estimates the storage footprint of a candidate.
+// bytesOf estimates the storage footprint of a candidate. It is called once
+// per candidate per Run and cached on the heap item; FinalRows/DeltaRows
+// behind it are memoized by the engine.
 func (s *Selector) bytesOf(c diff.Change) float64 {
 	en := s.En
 	e := en.D.Equivs[c.EquivID]
@@ -274,6 +286,42 @@ func (s *Selector) candidates(initial *diff.MatState) []diff.Change {
 	return out
 }
 
+// evalConcurrently runs eval(i) for every i in [0, n) on a worker pool
+// bounded by Cfg.Workers (default runtime.GOMAXPROCS(0)). Each index is
+// processed exactly once and writes only its own slot, so callers merge
+// results by index — deterministic regardless of scheduling.
+func (s *Selector) evalConcurrently(n int, eval func(int)) {
+	workers := s.Cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			eval(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				eval(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Run executes the greedy selection and returns the chosen set, the final
 // evaluation state, and instrumentation.
 func (s *Selector) Run() *Result {
@@ -290,15 +338,17 @@ func (s *Selector) Run() *Result {
 
 	cands := s.candidates(ms)
 	res.CandidateCount = len(cands)
-	h := &maxHeap{}
-	for _, c := range cands {
-		heap.Push(h, &item{change: c, benefit: math.Inf(1), epoch: -1, bytes: s.bytesOf(c)})
+	items := make([]*item, len(cands))
+	for i, c := range cands {
+		items[i] = &item{change: c, epoch: 0, bytes: s.bytesOf(c)}
 	}
 
 	// evalAfter applies a change hypothetically (or for real). With the
 	// incremental cost update it forks the current Eval, carrying over every
 	// memoized plan outside the candidate's ancestor set; the ablation path
-	// rebuilds an Eval from scratch.
+	// rebuilds an Eval from scratch. Safe to call concurrently: it only
+	// reads ev and the prewarmed engine, and writes the forked Eval's own
+	// memo maps.
 	evalAfter := func(ch diff.Change) *diff.Eval {
 		if s.Cfg.DisableIncremental {
 			ms2 := ev.MS.Clone()
@@ -307,8 +357,9 @@ func (s *Selector) Run() *Result {
 		}
 		return ev.Fork(ch)
 	}
-	benefitOf := func(it *item) float64 {
-		res.BenefitCalls++
+	// scoreOf computes the heap key of a candidate under the current state,
+	// recording the raw benefit on the item. Concurrency-safe per item.
+	scoreOf := func(it *item) float64 {
 		trial := s.withChange(set, it.change)
 		ben := cur - s.totalCost(evalAfter(it.change), trial)
 		it.raw = ben
@@ -316,6 +367,10 @@ func (s *Selector) Run() *Result {
 			ben /= it.bytes
 		}
 		return ben
+	}
+	benefitOf := func(it *item) float64 {
+		res.BenefitCalls++
+		return scoreOf(it)
 	}
 	apply := func(it *item) {
 		ev = evalAfter(it.change)
@@ -328,27 +383,41 @@ func (s *Selector) Run() *Result {
 	spaceLeft := s.Cfg.SpaceBudget
 	if s.Cfg.DisableMonotonicity {
 		// Naive greedy (paper Fig. 2 without §6.2 optimization 2): every
-		// remaining candidate's benefit is recomputed each iteration.
-		remaining := append([]*item(nil), (*h)...)
+		// remaining candidate's benefit is recomputed each iteration — each
+		// sweep fans out over the worker pool; the arg-max scan stays serial
+		// and in candidate order, so picks are identical to a serial run.
+		remaining := append([]*item(nil), items...)
 		for len(remaining) > 0 {
 			if s.Cfg.MaxChoices > 0 && len(res.Chosen) >= s.Cfg.MaxChoices {
 				break
 			}
+			eligible := remaining
+			if s.Cfg.SpaceBudget > 0 {
+				eligible = make([]*item, 0, len(remaining))
+				for _, it := range remaining {
+					if it.bytes <= spaceLeft {
+						eligible = append(eligible, it)
+					}
+				}
+			}
+			s.evalConcurrently(len(eligible), func(i int) {
+				eligible[i].benefit = scoreOf(eligible[i])
+			})
+			res.BenefitCalls += len(eligible)
 			bestI := -1
 			bestBen := s.Cfg.MinBenefit
 			for i, it := range remaining {
 				if s.Cfg.SpaceBudget > 0 && it.bytes > spaceLeft {
 					continue
 				}
-				if ben := benefitOf(it); ben > bestBen {
-					bestBen, bestI = ben, i
+				if it.benefit > bestBen {
+					bestBen, bestI = it.benefit, i
 				}
 			}
 			if bestI < 0 {
 				break
 			}
 			pick := remaining[bestI]
-			pick.benefit = bestBen
 			remaining = append(remaining[:bestI], remaining[bestI+1:]...)
 			apply(pick)
 			if s.Cfg.SpaceBudget > 0 {
@@ -356,6 +425,28 @@ func (s *Selector) Run() *Result {
 			}
 		}
 	} else {
+		// Initial heap fill: every candidate's epoch-0 benefit, evaluated
+		// concurrently on forked Evals and pushed in candidate order so the
+		// heap — and hence every later pick — is deterministic. Candidates
+		// over the space budget are dropped unevaluated, as the lazy heap
+		// used to discard them at pop time before costing them.
+		fill := items
+		if s.Cfg.SpaceBudget > 0 {
+			fill = make([]*item, 0, len(items))
+			for _, it := range items {
+				if it.bytes <= spaceLeft {
+					fill = append(fill, it)
+				}
+			}
+		}
+		s.evalConcurrently(len(fill), func(i int) {
+			fill[i].benefit = scoreOf(fill[i])
+		})
+		res.BenefitCalls += len(fill)
+		h := &maxHeap{}
+		for _, it := range fill {
+			heap.Push(h, it)
+		}
 		epoch := 0
 		for h.Len() > 0 {
 			if s.Cfg.MaxChoices > 0 && len(res.Chosen) >= s.Cfg.MaxChoices {

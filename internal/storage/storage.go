@@ -43,11 +43,29 @@ func (r *Relation) Insert(t algebra.Tuple) {
 	r.rows = append(r.rows, t)
 }
 
-// InsertAll appends every tuple of another relation (multiset union in place).
-func (r *Relation) InsertAll(o *Relation) {
-	for _, t := range o.rows {
-		r.Insert(t)
+// Append appends a tuple without the arity check. Executor hot paths use it
+// when the physical plan already guarantees the arity.
+func (r *Relation) Append(t algebra.Tuple) {
+	r.rows = append(r.rows, t)
+}
+
+// Reserve grows the backing slice so n more rows fit without reallocation.
+func (r *Relation) Reserve(n int) {
+	if free := cap(r.rows) - len(r.rows); free < n {
+		grown := make([]algebra.Tuple, len(r.rows), len(r.rows)+n)
+		copy(grown, r.rows)
+		r.rows = grown
 	}
+}
+
+// InsertAll appends every tuple of another relation (multiset union in
+// place). The schemas must have equal arity; it is checked once, not per row.
+func (r *Relation) InsertAll(o *Relation) {
+	if len(o.schema) != len(r.schema) {
+		panic(fmt.Sprintf("storage: schema arity %d does not match %d",
+			len(o.schema), len(r.schema)))
+	}
+	r.rows = append(r.rows, o.rows...)
 }
 
 // Clone returns a deep copy.
@@ -60,25 +78,82 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
-// key renders a tuple to a canonical string for multiset bookkeeping.
-func key(t algebra.Tuple) string {
-	var b strings.Builder
-	for i, v := range t {
-		if i > 0 {
-			b.WriteByte('\x1f')
-		}
-		b.WriteString(v.String())
-	}
-	return b.String()
+// tupleCount pairs one distinct tuple with its multiplicity.
+type tupleCount struct {
+	t algebra.Tuple
+	n int
 }
 
-// Counts returns the multiset as a map tuple-key → multiplicity.
-func (r *Relation) Counts() map[string]int {
-	m := make(map[string]int, len(r.rows))
-	for _, t := range r.rows {
-		m[key(t)]++
+// TupleCounts is a hashed multiset of tuples: a 64-bit typed tuple hash
+// (algebra.Tuple.Hash) keys a small bucket of distinct tuples, disambiguated
+// by Tuple.Equal when hashes collide. It replaces the former string-keyed
+// representation, which rendered every value per operation.
+type TupleCounts struct {
+	buckets map[uint64][]tupleCount
+	size    int
+}
+
+// NewTupleCounts returns an empty multiset sized for about n tuples.
+func NewTupleCounts(n int) *TupleCounts {
+	return &TupleCounts{buckets: make(map[uint64][]tupleCount, n)}
+}
+
+// Len returns the total multiplicity.
+func (tc *TupleCounts) Len() int { return tc.size }
+
+// Add raises the multiplicity of t by n.
+func (tc *TupleCounts) Add(t algebra.Tuple, n int) { tc.addHashed(t.Hash(), t, n) }
+
+// addHashed is Add with the hash supplied by the caller; tests use it to
+// force collisions.
+func (tc *TupleCounts) addHashed(h uint64, t algebra.Tuple, n int) {
+	bucket := tc.buckets[h]
+	for i := range bucket {
+		if bucket[i].t.Equal(t) {
+			bucket[i].n += n
+			tc.size += n
+			return
+		}
 	}
-	return m
+	tc.buckets[h] = append(bucket, tupleCount{t: t, n: n})
+	tc.size += n
+}
+
+// Count returns the multiplicity of t.
+func (tc *TupleCounts) Count(t algebra.Tuple) int { return tc.countHashed(t.Hash(), t) }
+
+func (tc *TupleCounts) countHashed(h uint64, t algebra.Tuple) int {
+	for _, e := range tc.buckets[h] {
+		if e.t.Equal(t) {
+			return e.n
+		}
+	}
+	return 0
+}
+
+// Remove lowers the multiplicity of t by one and reports whether a copy was
+// present.
+func (tc *TupleCounts) Remove(t algebra.Tuple) bool { return tc.removeHashed(t.Hash(), t) }
+
+func (tc *TupleCounts) removeHashed(h uint64, t algebra.Tuple) bool {
+	bucket := tc.buckets[h]
+	for i := range bucket {
+		if bucket[i].n > 0 && bucket[i].t.Equal(t) {
+			bucket[i].n--
+			tc.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Counts returns the multiset as a hashed tuple → multiplicity map.
+func (r *Relation) Counts() *TupleCounts {
+	tc := NewTupleCounts(len(r.rows))
+	for _, t := range r.rows {
+		tc.Add(t, 1)
+	}
+	return tc
 }
 
 // SubtractAll removes each tuple of o once from r (multiset monus applied in
@@ -91,9 +166,7 @@ func (r *Relation) SubtractAll(o *Relation) {
 	remove := o.Counts()
 	kept := r.rows[:0]
 	for _, t := range r.rows {
-		k := key(t)
-		if remove[k] > 0 {
-			remove[k]--
+		if remove.Remove(t) {
 			continue
 		}
 		kept = append(kept, t)
@@ -108,12 +181,25 @@ func EqualMultiset(a, b *Relation) bool {
 		return false
 	}
 	ca := a.Counts()
-	for k, n := range b.Counts() {
-		if ca[k] != n {
+	for _, t := range b.rows {
+		if !ca.Remove(t) {
 			return false
 		}
 	}
 	return true
+}
+
+// render formats a tuple for debugging and test output. It is NOT used for
+// hashing or equality — the hot paths hash typed values directly.
+func render(t algebra.Tuple) string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
 }
 
 // SortedStrings renders every tuple and sorts the renderings; useful in tests
@@ -121,7 +207,7 @@ func EqualMultiset(a, b *Relation) bool {
 func (r *Relation) SortedStrings() []string {
 	out := make([]string, len(r.rows))
 	for i, t := range r.rows {
-		out[i] = key(t)
+		out[i] = render(t)
 	}
 	sort.Strings(out)
 	return out
@@ -129,27 +215,55 @@ func (r *Relation) SortedStrings() []string {
 
 // ---------------------------------------------------------------------------
 
-// HashIndex maps the rendered value of one column to row positions in a
+// HashIndex maps the typed hash of one column to row positions in a
 // relation. It is rebuilt on demand; the executor uses it for index
 // nested-loop joins and for applying merge updates to materialized results.
+// Positions are grouped per distinct key value within each hash bucket, so
+// a probe returns the matching group's slice with no allocation, and a
+// stale index (one held across a mutation of the relation) returns stale
+// positions rather than touching the relation.
 type HashIndex struct {
 	col     int
-	buckets map[string][]int
+	buckets map[uint64][]ixGroup
+}
+
+// ixGroup holds the row positions of one distinct key value.
+type ixGroup struct {
+	v   algebra.Value
+	pos []int
 }
 
 // BuildHashIndex indexes the column at position col of r.
 func BuildHashIndex(r *Relation, col int) *HashIndex {
-	ix := &HashIndex{col: col, buckets: make(map[string][]int)}
+	ix := &HashIndex{col: col, buckets: make(map[uint64][]ixGroup, r.Len())}
 	for i, t := range r.rows {
-		k := t[col].String()
-		ix.buckets[k] = append(ix.buckets[k], i)
+		v := t[col]
+		h := v.Hash()
+		bucket := ix.buckets[h]
+		found := false
+		for g := range bucket {
+			if bucket[g].v.Equal(v) {
+				bucket[g].pos = append(bucket[g].pos, i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			ix.buckets[h] = append(bucket, ixGroup{v: v, pos: []int{i}})
+		}
 	}
 	return ix
 }
 
-// Probe returns the row positions whose indexed column equals v.
+// Probe returns the row positions whose indexed column equals v. The bucket
+// is confirmed by value equality, so hash collisions never surface.
 func (ix *HashIndex) Probe(v algebra.Value) []int {
-	return ix.buckets[v.String()]
+	for _, g := range ix.buckets[v.Hash()] {
+		if g.v.Equal(v) {
+			return g.pos
+		}
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------

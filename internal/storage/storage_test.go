@@ -27,8 +27,8 @@ func TestInsertAndLen(t *testing.T) {
 	if r.Len() != 3 {
 		t.Fatalf("Len = %d, want 3", r.Len())
 	}
-	if r.Counts()["1\x1f'x'"] != 2 {
-		t.Errorf("duplicate multiplicity should be 2: %v", r.Counts())
+	if got := r.Counts().Count(tup(1, "x")); got != 2 {
+		t.Errorf("duplicate multiplicity = %d, want 2", got)
 	}
 }
 
@@ -56,7 +56,7 @@ func TestSubtractAllMultisetSemantics(t *testing.T) {
 	if r.Len() != 2 {
 		t.Fatalf("after subtract Len = %d, want 2", r.Len())
 	}
-	if r.Counts()["1\x1f'x'"] != 1 {
+	if r.Counts().Count(tup(1, "x")) != 1 {
 		t.Errorf("exactly one copy of (1,x) should remain")
 	}
 }

@@ -11,7 +11,7 @@ import (
 func TestExplainTreeShape(t *testing.T) {
 	_, _, opt, root := setup(t)
 	sz := dag.NewSizer(opt.Est, nil)
-	p := opt.Best(root, NewMatSet(), sz, map[int]*PlanNode{})
+	p := opt.Best(root, NewMatSet(), sz, opt.NewMemo())
 	out := Explain(p)
 	if !strings.Contains(out, "join") {
 		t.Errorf("join missing from explain:\n%s", out)
@@ -35,7 +35,7 @@ func TestExplainReuse(t *testing.T) {
 	ms := NewMatSet()
 	ms.Full[root.ID] = true
 	sz := dag.NewSizer(opt.Est, nil)
-	p := opt.Best(root, ms, sz, map[int]*PlanNode{})
+	p := opt.Best(root, ms, sz, opt.NewMemo())
 	if out := Explain(p); !strings.Contains(out, "reuse materialized") {
 		t.Errorf("reuse should render:\n%s", out)
 	}
@@ -51,7 +51,7 @@ func TestExplainIndexProbe(t *testing.T) {
 		}
 	}
 	sz := dag.NewSizer(opt.Est, map[string]float64{"dim1": 10})
-	p := opt.Best(fd1, NewMatSet(), sz, map[int]*PlanNode{})
+	p := opt.Best(fd1, NewMatSet(), sz, opt.NewMemo())
 	out := Explain(p)
 	if !strings.Contains(out, "index probe") {
 		t.Errorf("probe should render:\n%s", out)

@@ -190,15 +190,48 @@ func New(d *dag.DAG, m *cost.Model) *Optimizer {
 	return &Optimizer{Dag: d, Model: m, Est: cost.NewEstimator(d.Cat)}
 }
 
+// Memo caches the best plan per equivalence node within one (ms, sz)
+// configuration, indexed by node ID. It is slice-backed so lookups, clones
+// and invalidations are array operations: the greedy heuristic forks one
+// memo per benefit evaluation, thousands per run, and the former
+// map-backed representation dominated optimization-time profiles.
+type Memo struct {
+	plans []*PlanNode
+	seen  []bool
+}
+
+// NewMemo returns an empty memo sized for the optimizer's DAG.
+func (o *Optimizer) NewMemo() *Memo {
+	n := len(o.Dag.Equivs)
+	return &Memo{plans: make([]*PlanNode, n), seen: make([]bool, n)}
+}
+
+// Get returns the cached plan for a node and whether one is present.
+func (m *Memo) Get(id int) (*PlanNode, bool) { return m.plans[id], m.seen[id] }
+
+// Put caches the plan for a node.
+func (m *Memo) Put(id int, p *PlanNode) { m.plans[id] = p; m.seen[id] = true }
+
+// Delete invalidates one node's entry.
+func (m *Memo) Delete(id int) { m.plans[id] = nil; m.seen[id] = false }
+
+// Clone copies the memo; plan nodes are shared (they are immutable).
+func (m *Memo) Clone() *Memo {
+	out := &Memo{plans: make([]*PlanNode, len(m.plans)), seen: make([]bool, len(m.seen))}
+	copy(out.plans, m.plans)
+	copy(out.seen, m.seen)
+	return out
+}
+
 // Best returns the cheapest plan for e given materialized set ms, under the
 // cardinality state of sz. The memo must be reused only within one
 // (ms, sz) configuration.
-func (o *Optimizer) Best(e *dag.Equiv, ms *MatSet, sz *dag.Sizer, memo map[int]*PlanNode) *PlanNode {
-	if p, ok := memo[e.ID]; ok {
+func (o *Optimizer) Best(e *dag.Equiv, ms *MatSet, sz *dag.Sizer, memo *Memo) *PlanNode {
+	if p, ok := memo.Get(e.ID); ok {
 		return p
 	}
 	// Guard against re-entrancy on malformed (cyclic) DAGs.
-	memo[e.ID] = nil
+	memo.Put(e.ID, nil)
 
 	var best *PlanNode
 	for _, op := range e.Ops {
@@ -220,12 +253,12 @@ func (o *Optimizer) Best(e *dag.Equiv, ms *MatSet, sz *dag.Sizer, memo map[int]*
 			best = reuse
 		}
 	}
-	memo[e.ID] = best
+	memo.Put(e.ID, best)
 	return best
 }
 
 // planOp costs one operation alternative.
-func (o *Optimizer) planOp(e *dag.Equiv, op *dag.Op, ms *MatSet, sz *dag.Sizer, memo map[int]*PlanNode) *PlanNode {
+func (o *Optimizer) planOp(e *dag.Equiv, op *dag.Op, ms *MatSet, sz *dag.Sizer, memo *Memo) *PlanNode {
 	outRows := sz.Rows(e)
 	switch op.Kind {
 	case dag.OpScan:
@@ -277,34 +310,12 @@ func (o *Optimizer) localUnary(op *dag.Op, sz *dag.Sizer, outRows float64) float
 	}
 }
 
-// joinCol returns the inner-side join column of the first equi-conjunct, or
-// "" when the predicate has no equi-conjunct usable for an index probe.
-func joinCol(op *dag.Op, inner *dag.Equiv) string {
-	for _, c := range op.Pred.Conjuncts {
-		if c.Op != algebra.EQ {
-			continue
-		}
-		lc, lok := c.L.(algebra.ColRef)
-		rc, rok := c.R.(algebra.ColRef)
-		if !lok || !rok {
-			continue
-		}
-		if inner.Schema.Has(lc.QName()) {
-			return lc.QName()
-		}
-		if inner.Schema.Has(rc.QName()) {
-			return rc.QName()
-		}
-	}
-	return ""
-}
-
 // planJoin costs every physical variant of a join operation and returns the
 // cheapest. Variants: hash join (children charged normally) and, for each
 // side that is a stored relation with an index on its join column, an index
 // nested-loop join whose inner side is probed for free (the probe I/O is
 // part of the operator's local cost).
-func (o *Optimizer) planJoin(e *dag.Equiv, op *dag.Op, ms *MatSet, sz *dag.Sizer, memo map[int]*PlanNode) *PlanNode {
+func (o *Optimizer) planJoin(e *dag.Equiv, op *dag.Op, ms *MatSet, sz *dag.Sizer, memo *Memo) *PlanNode {
 	m := o.Model
 	l, r := op.Children[0], op.Children[1]
 	outRows := sz.Rows(e)
@@ -355,7 +366,7 @@ func (o *Optimizer) planJoin(e *dag.Equiv, op *dag.Op, ms *MatSet, sz *dag.Sizer
 		if !ms.stored(inner) {
 			return
 		}
-		col := joinCol(op, inner)
+		col := op.InnerJoinCol(inner)
 		if col == "" || !ms.HasIndex(o.Dag.Cat, inner, col) {
 			return
 		}
@@ -375,7 +386,7 @@ func (o *Optimizer) planJoin(e *dag.Equiv, op *dag.Op, ms *MatSet, sz *dag.Sizer
 }
 
 // Cost returns just the cumulative cost of the best plan for e.
-func (o *Optimizer) Cost(e *dag.Equiv, ms *MatSet, sz *dag.Sizer, memo map[int]*PlanNode) float64 {
+func (o *Optimizer) Cost(e *dag.Equiv, ms *MatSet, sz *dag.Sizer, memo *Memo) float64 {
 	return o.Best(e, ms, sz, memo).CumCost
 }
 
@@ -385,7 +396,7 @@ func (o *Optimizer) Cost(e *dag.Equiv, ms *MatSet, sz *dag.Sizer, memo map[int]*
 // incremental maintenance when deciding how to refresh a materialized result
 // (paper §6.1), and the cost charged when temporarily materializing a shared
 // subexpression.
-func (o *Optimizer) BestCompute(e *dag.Equiv, ms *MatSet, sz *dag.Sizer, memo map[int]*PlanNode) *PlanNode {
+func (o *Optimizer) BestCompute(e *dag.Equiv, ms *MatSet, sz *dag.Sizer, memo *Memo) *PlanNode {
 	var best *PlanNode
 	for _, op := range e.Ops {
 		p := o.planOp(e, op, ms, sz, memo)

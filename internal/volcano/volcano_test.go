@@ -83,7 +83,7 @@ func setup(t *testing.T) (*catalog.Catalog, *dag.DAG, *Optimizer, *dag.Equiv) {
 func TestBestPlanExistsAndPositive(t *testing.T) {
 	_, _, opt, root := setup(t)
 	sz := dag.NewSizer(opt.Est, nil)
-	p := opt.Best(root, NewMatSet(), sz, map[int]*PlanNode{})
+	p := opt.Best(root, NewMatSet(), sz, opt.NewMemo())
 	if p == nil || p.CumCost <= 0 {
 		t.Fatalf("plan missing or free: %v", p)
 	}
@@ -95,7 +95,7 @@ func TestBestPlanExistsAndPositive(t *testing.T) {
 func TestMemoReturnsSamePlan(t *testing.T) {
 	_, _, opt, root := setup(t)
 	sz := dag.NewSizer(opt.Est, nil)
-	memo := map[int]*PlanNode{}
+	memo := opt.NewMemo()
 	p1 := opt.Best(root, NewMatSet(), sz, memo)
 	p2 := opt.Best(root, NewMatSet(), sz, memo)
 	if p1 != p2 {
@@ -108,11 +108,11 @@ func TestReuseBeatsRecompute(t *testing.T) {
 	sz := dag.NewSizer(opt.Est, nil)
 	ms := NewMatSet()
 	ms.Full[root.ID] = true
-	p := opt.Best(root, ms, sz, map[int]*PlanNode{})
+	p := opt.Best(root, ms, sz, opt.NewMemo())
 	if p.Access != Reuse {
 		t.Errorf("materialized root should be reused, got %v", p)
 	}
-	noMat := opt.Best(root, NewMatSet(), sz, map[int]*PlanNode{})
+	noMat := opt.Best(root, NewMatSet(), sz, opt.NewMemo())
 	if p.CumCost >= noMat.CumCost {
 		t.Errorf("reuse should be cheaper: %g vs %g", p.CumCost, noMat.CumCost)
 	}
@@ -121,7 +121,7 @@ func TestReuseBeatsRecompute(t *testing.T) {
 func TestMaterializedSubexpressionLowersCost(t *testing.T) {
 	_, d, opt, root := setup(t)
 	sz := dag.NewSizer(opt.Est, nil)
-	base := opt.Cost(root, NewMatSet(), sz, map[int]*PlanNode{})
+	base := opt.Cost(root, NewMatSet(), sz, opt.NewMemo())
 	// Materialize the fact⋈dim1 subexpression.
 	var sub *dag.Equiv
 	for _, e := range d.Equivs {
@@ -134,7 +134,7 @@ func TestMaterializedSubexpressionLowersCost(t *testing.T) {
 	}
 	ms := NewMatSet()
 	ms.Full[sub.ID] = true
-	with := opt.Cost(root, ms, sz, map[int]*PlanNode{})
+	with := opt.Cost(root, ms, sz, opt.NewMemo())
 	if with > base {
 		t.Errorf("extra materialization should never raise the best cost: %g vs %g", with, base)
 	}
@@ -152,7 +152,7 @@ func TestDeltaStateMakesINLAttractive(t *testing.T) {
 		}
 	}
 	sz := dag.NewSizer(opt.Est, map[string]float64{"dim1": 10})
-	p := opt.Best(fd1, NewMatSet(), sz, map[int]*PlanNode{})
+	p := opt.Best(fd1, NewMatSet(), sz, opt.NewMemo())
 	if p.Algo != AlgoINL {
 		t.Errorf("tiny outer joining indexed fact should pick INL, got %v (%s)", p.Algo, p)
 	}
@@ -171,7 +171,7 @@ func TestNoIndexNoINL(t *testing.T) {
 		}
 	}
 	sz := dag.NewSizer(opt.Est, map[string]float64{"dim1": 10})
-	p := opt.Best(fd1, NewMatSet(), sz, map[int]*PlanNode{})
+	p := opt.Best(fd1, NewMatSet(), sz, opt.NewMemo())
 	if p.Algo == AlgoINL {
 		t.Errorf("no index declared: INL should be unavailable")
 	}
@@ -189,7 +189,7 @@ func TestChosenIndexOnMaterializedResultEnablesINL(t *testing.T) {
 	ms.Full[fd1.ID] = true
 	ms.Indexes[IndexKey{EquivID: fd1.ID, Col: "fact.f_d2"}] = true
 	sz := dag.NewSizer(opt.Est, map[string]float64{"dim2": 1})
-	p := opt.Best(root, ms, sz, map[int]*PlanNode{})
+	p := opt.Best(root, ms, sz, opt.NewMemo())
 	if p.Algo != AlgoINL {
 		t.Errorf("materialized+indexed subexpression should be probed: %s", p)
 	}
@@ -198,7 +198,7 @@ func TestChosenIndexOnMaterializedResultEnablesINL(t *testing.T) {
 func TestPlanStringRenders(t *testing.T) {
 	_, _, opt, root := setup(t)
 	sz := dag.NewSizer(opt.Est, nil)
-	p := opt.Best(root, NewMatSet(), sz, map[int]*PlanNode{})
+	p := opt.Best(root, NewMatSet(), sz, opt.NewMemo())
 	s := p.String()
 	if s == "" || len(s) < 10 {
 		t.Errorf("plan rendering too short: %q", s)
@@ -233,7 +233,7 @@ func TestAggregatePlanCost(t *testing.T) {
 	root := d.AddQuery("v", agg)
 	opt := New(d, cost.NewModel(cost.Default()))
 	sz := dag.NewSizer(opt.Est, nil)
-	p := opt.Best(root, NewMatSet(), sz, map[int]*PlanNode{})
+	p := opt.Best(root, NewMatSet(), sz, opt.NewMemo())
 	if p.Op.Kind != dag.OpAggregate {
 		t.Fatalf("root should aggregate")
 	}

@@ -7,7 +7,10 @@
 //
 // Usage:
 //
-//	mvrefresh -sf 0.002 -pct 5 -nights 3 -workload set5agg
+//	mvrefresh -sf 0.002 -pct 5 -nights 3 -workload set5agg -workers 4
+//
+// -workers bounds the refresh scheduler's worker pool (0 = GOMAXPROCS,
+// 1 = sequential); maintained results are identical at any setting.
 package main
 
 import (
@@ -28,6 +31,7 @@ func main() {
 	nights := flag.Int("nights", 3, "number of refresh cycles")
 	workload := flag.String("workload", "agg4", "workload: join4 agg4 set5 set5agg")
 	seed := flag.Int64("seed", 1, "data generator seed")
+	workers := flag.Int("workers", 0, "refresh worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	cat := tpcd.NewCatalog(*sf, true)
@@ -62,7 +66,9 @@ func main() {
 	fmt.Print(plan.Report())
 
 	rt := plan.NewRuntime(db)
-	fmt.Printf("materialized %d results\n\n", len(plan.Eval.MS.Fulls.Full))
+	rt.SetWorkers(*workers)
+	fmt.Printf("materialized %d results (refresh workers: %d, 0 = GOMAXPROCS)\n\n",
+		len(plan.Eval.MS.Fulls.Full), *workers)
 
 	for night := 1; night <= *nights; night++ {
 		tpcd.LogUniformUpdates(cat, db, updated, *pct, *seed+int64(night))

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/greedy"
+	"repro/internal/tpcd"
+)
+
+// ParallelResult measures the concurrent refresh scheduler (exec/schedule.go)
+// on the ten-view Figure-5 workload executed against generated TPC-D data:
+// real refresh wall-clock at several worker-pool bounds, with every run
+// verified exact against recomputation. workers=1 is the sequential
+// baseline the speedups are relative to.
+type ParallelResult struct {
+	ScaleFactor float64
+	UpdatePct   float64
+	Cycles      int
+	// Workers[i] was refreshed in Refresh[i] per cycle (averaged).
+	Workers  []int
+	Refresh  []time.Duration
+	Verified bool
+}
+
+// buildTenViewRuntime assembles the ten-view workload on generated data.
+// Equal seeds give byte-identical databases, plans and update batches, so
+// runtimes built by separate calls may be compared row by row.
+func buildTenViewRuntime(sf, pct float64, seed int64) (*core.Runtime, *core.MaintenancePlan) {
+	cat := tpcd.NewCatalog(sf, true)
+	db := tpcd.Generate(cat, sf, seed)
+	sys := core.NewSystem(cat, core.Options{})
+	for _, v := range tpcd.ViewSet10(cat) {
+		if _, err := sys.AddView(v.Name, v.Def); err != nil {
+			panic(err)
+		}
+	}
+	u := diff.UniformPercent(cat, tpcd.UpdatedRelations(), pct)
+	plan := sys.OptimizeGreedy(u, greedy.DefaultConfig())
+	return plan.NewRuntime(db), plan
+}
+
+// ParallelRefresh times the ten-view refresh at each worker count.
+func ParallelRefresh(sf, pct float64, cycles int, workers []int) ParallelResult {
+	out := ParallelResult{
+		ScaleFactor: sf, UpdatePct: pct, Cycles: cycles,
+		Workers: workers, Verified: true,
+	}
+	for _, w := range workers {
+		rt, plan := buildTenViewRuntime(sf, pct, 11)
+		rt.SetWorkers(w)
+		cat := plan.System.Cat
+		var total time.Duration
+		for c := 0; c < cycles; c++ {
+			tpcd.LogUniformUpdates(cat, rt.Ex.DB, tpcd.UpdatedRelations(), pct, int64(300+c))
+			start := time.Now()
+			rt.Refresh()
+			total += time.Since(start)
+			if err := rt.Verify(); err != nil {
+				out.Verified = false
+			}
+		}
+		out.Refresh = append(out.Refresh, total/time.Duration(cycles))
+	}
+	return out
+}
+
+// DefaultParallelWorkers is the sweep of the parallel-refresh experiment:
+// sequential, a fixed small pool, and the hardware parallelism (deduplicated,
+// so a single-core machine sweeps {1, 4} only once each).
+func DefaultParallelWorkers() []int {
+	out := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Format renders the worker sweep with speedups over the workers=1 row.
+func (r ParallelResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t-par — parallel refresh wall-clock (10 views, SF %g, %g%% updates, %d cycles)\n",
+		r.ScaleFactor, r.UpdatePct, r.Cycles)
+	base := time.Duration(0)
+	for i, w := range r.Workers {
+		if i == 0 {
+			base = r.Refresh[i]
+		}
+		speedup := float64(base) / float64(r.Refresh[i])
+		fmt.Fprintf(&b, "  workers %2d: refresh %8v  (%.2fx vs sequential)\n",
+			w, r.Refresh[i].Round(time.Millisecond), speedup)
+	}
+	if r.Verified {
+		b.WriteString("  all views verified exact\n")
+	} else {
+		b.WriteString("  VERIFICATION FAILED\n")
+	}
+	return b.String()
+}

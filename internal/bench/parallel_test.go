@@ -1,0 +1,72 @@
+package bench
+
+// Golden test for the concurrent refresh scheduler on the ten-view
+// workload: identical builds refreshed at workers=1 and at a real pool must
+// leave every maintained view byte-identical — ViewSet10 is all joins, whose
+// maintained row order is deterministic — and exact against recomputation.
+// Run under -race in CI to also catch data races in the scheduler.
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+func TestTenViewParallelRefreshGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates TPC-D data")
+	}
+	const sf, pct, cycles = 0.002, 5, 2
+
+	refreshAll := func(workers int) (*storageRelations, error) {
+		rt, plan := buildTenViewRuntime(sf, pct, 11)
+		rt.SetWorkers(workers)
+		cat := plan.System.Cat
+		for c := 0; c < cycles; c++ {
+			tpcd.LogUniformUpdates(cat, rt.Ex.DB, tpcd.UpdatedRelations(), pct, int64(300+c))
+			rt.Refresh()
+		}
+		if err := rt.Verify(); err != nil {
+			return nil, err
+		}
+		out := &storageRelations{}
+		for _, vp := range plan.Views {
+			out.names = append(out.names, vp.View.Name)
+			out.rels = append(out.rels, rt.ViewRows(vp.View))
+		}
+		return out, nil
+	}
+
+	seq, err := refreshAll(1)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	for _, workers := range []int{4, 0} {
+		par, err := refreshAll(workers)
+		if err != nil {
+			t.Fatalf("workers=%d run: %v", workers, err)
+		}
+		for i, name := range seq.names {
+			want, got := seq.rels[i], par.rels[i]
+			if !storage.EqualMultiset(want, got) {
+				t.Fatalf("workers=%d: view %s diverged as multiset (%d vs %d rows)",
+					workers, name, want.Len(), got.Len())
+			}
+			if want.Len() != got.Len() {
+				t.Fatalf("workers=%d: view %s row count %d vs %d", workers, name, want.Len(), got.Len())
+			}
+			for r, tu := range want.Rows() {
+				if !tu.Equal(got.Rows()[r]) {
+					t.Fatalf("workers=%d: view %s not byte-identical at row %d", workers, name, r)
+				}
+			}
+		}
+	}
+}
+
+// storageRelations pairs view names with their maintained relations.
+type storageRelations struct {
+	names []string
+	rels  []*storage.Relation
+}

@@ -337,6 +337,11 @@ func (p *MaintenancePlan) NewRuntime(db *storage.Database) *Runtime {
 // Refresh propagates all pending deltas through the stored results.
 func (r *Runtime) Refresh() { r.Mt.Refresh() }
 
+// SetWorkers bounds the worker pool of the refresh scheduler (0 =
+// runtime.GOMAXPROCS(0), 1 = sequential). Refresh results are identical at
+// any setting; see exec.Maintainer.Workers.
+func (r *Runtime) SetWorkers(n int) { r.Mt.Workers = n }
+
 // ViewRows returns the maintained contents of a view.
 func (r *Runtime) ViewRows(v View) *storage.Relation {
 	return r.Ex.Mat[v.Root.ID]

@@ -1,0 +1,39 @@
+package dag
+
+// Reachability helpers over the AND-OR DAG. The refresh scheduler uses them
+// to validate its task graph: a differential of node e may only reuse
+// differentials of nodes *below* e (operation inputs, transitively), so
+// reuse edges always point strictly downward and the task graph inherits the
+// DAG's acyclicity.
+
+// Descendants returns the set of equivalence-node IDs reachable from e
+// through operation inputs, including e itself.
+func (d *DAG) Descendants(e *Equiv) map[int]bool {
+	seen := make(map[int]bool)
+	stack := []*Equiv{e}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n.ID] {
+			continue
+		}
+		seen[n.ID] = true
+		for _, op := range n.Ops {
+			for _, c := range op.Children {
+				if !seen[c.ID] {
+					stack = append(stack, c)
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// Reaches reports whether to is reachable from from through operation
+// inputs (a node reaches itself).
+func (d *DAG) Reaches(from, to *Equiv) bool {
+	if from == to {
+		return true
+	}
+	return d.Descendants(from)[to.ID]
+}

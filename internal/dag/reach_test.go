@@ -1,0 +1,57 @@
+package dag
+
+import "testing"
+
+// TestDescendantsAndReaches checks the reachability helpers on the a-b-c
+// chain join: the root reaches every node of its expansion (including
+// itself), leaves reach nothing above them, and unrelated leaves do not
+// reach each other.
+func TestDescendantsAndReaches(t *testing.T) {
+	cat := abcCatalog()
+	d := New(cat)
+	root := d.AddQuery("v", chainJoin(cat, "a", "b", "c"))
+
+	desc := d.Descendants(root)
+	if !desc[root.ID] {
+		t.Fatal("a node must be its own descendant")
+	}
+	// The expanded chain has 6 nodes ({a},{b},{c},{ab},{bc},{abc}), all
+	// below the root.
+	if len(desc) != len(d.Equivs) {
+		t.Fatalf("root reaches %d of %d nodes", len(desc), len(d.Equivs))
+	}
+	leaves := map[string]*Equiv{}
+	for _, e := range d.Equivs {
+		if e.IsTable {
+			leaves[e.Tables[0]] = e
+		}
+	}
+	for _, tb := range []string{"a", "b", "c"} {
+		if leaves[tb] == nil {
+			t.Fatalf("leaf %s missing", tb)
+		}
+		if !d.Reaches(root, leaves[tb]) {
+			t.Fatalf("root must reach leaf %s", tb)
+		}
+		if d.Reaches(leaves[tb], root) {
+			t.Fatalf("leaf %s must not reach the root", tb)
+		}
+	}
+	if d.Reaches(leaves["a"], leaves["b"]) {
+		t.Fatal("unrelated leaves must not reach each other")
+	}
+	// Every Descendants set is downward-closed: children of members are
+	// members.
+	for _, e := range d.Equivs {
+		if !desc[e.ID] {
+			continue
+		}
+		for _, op := range e.Ops {
+			for _, c := range op.Children {
+				if !desc[c.ID] {
+					t.Fatalf("descendant set not closed: e%d in, child e%d out", e.ID, c.ID)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package diff
+
+// Dependency-set surface for the concurrent refresh scheduler
+// (internal/exec): it exposes which temporarily materialized differentials
+// a chosen plan reads, so per-result differential computations can be
+// topologically scheduled with shared results computed exactly once. The
+// scheduler chases the transitive closure itself while building its task
+// graph (one task per key, dependencies resolved via Eval.DiffPlan on each
+// returned key).
+
+// ReusedDeps appends to out the key of every temporarily materialized
+// differential that executing p reads directly — the Reused leaves of the
+// plan tree. It does not look through a reuse point into the reused
+// differential's own compute plan.
+func (p *DiffPlan) ReusedDeps(out []DiffKey) []DiffKey {
+	if p == nil || p.Empty {
+		return out
+	}
+	if p.Reused {
+		return append(out, DiffKey{EquivID: p.E.ID, Update: p.Update})
+	}
+	for _, c := range p.DiffChildren {
+		out = c.ReusedDeps(out)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package diff
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+)
+
+// TestReusedDeps checks the dependency-set surface the refresh scheduler
+// builds its task graph from: without temporarily materialized
+// differentials no plan has reuse dependencies; with one marked and
+// reused, it appears in the consumer's ReusedDeps, and every dependency in
+// the transitive closure (built the way the scheduler builds it) is a
+// strict descendant of its consumer in the AND-OR DAG.
+func TestReusedDeps(t *testing.T) {
+	en, root := engine(t, 10)
+
+	// Baseline: no temporary differentials → no dependencies anywhere.
+	ev := en.NewEval(rootMat(en, root))
+	for _, e := range en.D.Equivs {
+		for i := 1; i <= en.U.N(); i++ {
+			if deps := ev.DiffPlan(e, i).ReusedDeps(nil); len(deps) != 0 {
+				t.Fatalf("no differential is materialized, but δ%d(e%d) depends on %v",
+					i, e.ID, deps)
+			}
+		}
+	}
+
+	// Mark the orders⋈customer differential of update 1 as temporarily
+	// materialized: the cheapest plan for the root's differential should
+	// now read it.
+	var oc *dag.Equiv
+	for _, e := range en.D.Equivs {
+		if e.Ops[0].Kind == dag.OpJoin && len(e.Tables) == 2 &&
+			e.DependsOn("orders") && e.DependsOn("customer") {
+			oc = e
+		}
+	}
+	if oc == nil {
+		t.Fatal("orders⋈customer node missing")
+	}
+	key := DiffKey{EquivID: oc.ID, Update: 1}
+	ms := rootMat(en, root)
+	ms.Diffs[key] = true
+	ev = en.NewEval(ms)
+
+	deps := ev.DiffPlan(root, 1).ReusedDeps(nil)
+	found := false
+	for _, k := range deps {
+		if k == key {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("root differential deps %v do not include the marked %v", deps, key)
+	}
+
+	// Chase the transitive closure exactly as the scheduler does: resolve
+	// each key's compute plan via DiffPlan and collect its own reuse leaves.
+	set := map[DiffKey]bool{}
+	queue := ev.DiffPlan(root, 1).ReusedDeps(nil)
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		if set[k] {
+			continue
+		}
+		set[k] = true
+		queue = append(queue, ev.DiffPlan(en.D.Equivs[k.EquivID], k.Update).ReusedDeps(nil)...)
+	}
+	if !set[key] {
+		t.Fatalf("transitive closure %v misses %v", set, key)
+	}
+	for k := range set {
+		dep := en.D.Equivs[k.EquivID]
+		if k.EquivID == root.ID || !en.D.Reaches(root, dep) {
+			t.Fatalf("dependency e%d is not a strict descendant of the root", k.EquivID)
+		}
+	}
+}
+
+// TestReusedDepsEmptyAndReusedPlans pins the leaf conventions: an empty
+// plan contributes nothing, and a reuse access plan reports exactly its own
+// key.
+func TestReusedDepsEmptyAndReusedPlans(t *testing.T) {
+	empty := &DiffPlan{Empty: true}
+	if got := empty.ReusedDeps(nil); len(got) != 0 {
+		t.Fatalf("empty plan deps = %v", got)
+	}
+	en, root := engine(t, 10)
+	reuse := &DiffPlan{E: root, Update: 2, Reused: true}
+	got := reuse.ReusedDeps(nil)
+	if len(got) != 1 || got[0] != (DiffKey{EquivID: root.ID, Update: 2}) {
+		t.Fatalf("reuse plan deps = %v", got)
+	}
+	_ = en
+}

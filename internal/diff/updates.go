@@ -6,6 +6,8 @@
 // it — the paper's diffCost recurrence — including the choice between hash
 // joins and index nested-loop probes into stored inputs, reuse of
 // temporarily materialized differentials, and foreign-key emptiness pruning.
+// The chosen plans also expose their reuse dependencies (deps.go), from
+// which the refresh executor builds its concurrent task graph.
 package diff
 
 import (

@@ -1,7 +1,7 @@
 package exec
 
 import (
-	"fmt"
+	"sort"
 
 	"repro/internal/dag"
 	"repro/internal/diff"
@@ -12,21 +12,46 @@ import (
 // in order and, for each, computes the differentials of every stored result,
 // folds the base delta into its relation, and merges the differentials —
 // exactly the one-relation-one-update-type-at-a-time propagation of paper
-// §3.2.2, executing the plans chosen by the diff optimizer.
+// §3.2.2, executing the plans chosen by the diff optimizer. Within one
+// update step the differential computations are scheduled as a task graph
+// on a worker pool (see schedule.go); across steps the propagation order is
+// preserved, since each step reads the state the previous one produced.
 type Maintainer struct {
 	Ex *Executor
 	En *diff.Engine
 	Ev *diff.Eval
 
-	// diffStore holds temporarily materialized differentials within one
-	// refresh cycle.
-	diffStore map[diff.DiffKey]*storage.Relation
+	// Workers bounds the worker pool that executes each step's differential
+	// task graph. 0 uses runtime.GOMAXPROCS(0); 1 forces fully sequential
+	// execution on the calling goroutine. Refresh results are identical at
+	// any setting: tasks read only pre-step state and published dependency
+	// results, and merges run in a fixed order on the caller.
+	Workers int
+
+	// descCache memoizes dag.Descendants per consumer node for the task
+	// graph's downward-edge validation: the DAG and the chosen plans are
+	// fixed for the Maintainer's lifetime, so one traversal per consumer
+	// covers every step of every refresh cycle.
+	descCache map[int]map[int]bool
+}
+
+// descendants returns (computing once) the descendant ID set of a node.
+func (mt *Maintainer) descendants(e *dag.Equiv) map[int]bool {
+	if d, ok := mt.descCache[e.ID]; ok {
+		return d
+	}
+	if mt.descCache == nil {
+		mt.descCache = make(map[int]map[int]bool)
+	}
+	d := mt.En.D.Descendants(e)
+	mt.descCache[e.ID] = d
+	return d
 }
 
 // NewMaintainer assembles a refresh driver. The Eval's materialization state
 // must agree with what has actually been materialized in the executor.
 func NewMaintainer(ex *Executor, en *diff.Engine, ev *diff.Eval) *Maintainer {
-	return &Maintainer{Ex: ex, En: en, Ev: ev, diffStore: make(map[diff.DiffKey]*storage.Relation)}
+	return &Maintainer{Ex: ex, En: en, Ev: ev}
 }
 
 // EvalNode computes a node's result from base relations only (no reuse of
@@ -88,27 +113,33 @@ func (mt *Maintainer) Refresh() {
 	for i := 1; i <= u.N(); i++ {
 		mt.refreshOne(i)
 	}
-	mt.diffStore = make(map[diff.DiffKey]*storage.Relation)
 }
 
-// refreshOne processes a single update number: phase 1 computes all
-// differentials against the pre-update state, phase 2 folds the delta into
-// the base relation, phase 3 merges the differentials (and performs
-// recomputation fallbacks, which then see the post-update base state).
+// pendingMerge is one maintained result's phase-3 action for the step.
+type pendingMerge struct {
+	e    *dag.Equiv
+	task *diffTask // join-style differential, or aggregate input delta
+	agg  bool
+	reco bool // recompute fallback
+}
+
+// refreshOne processes a single update number: phase 1 plans and executes
+// the step's differential task graph against the pre-update state
+// (concurrently, shared differentials computed once — see schedule.go),
+// phase 2 folds the delta into the base relation, phase 3 merges the
+// differentials in ascending node order (and performs recomputation
+// fallbacks, which then see the post-update base state).
 func (mt *Maintainer) refreshOne(i int) {
 	u := mt.En.U
 	T := u.Table(i)
 	ex := mt.Ex
 
-	type pendingMerge struct {
-		e    *dag.Equiv
-		rel  *storage.Relation // join-style differential, or aggregate input delta
-		agg  bool
-		reco bool // recompute fallback
-	}
+	// Planning walks the maintained results in ascending node ID so the task
+	// graph's topological order — and with it the workers=1 execution order
+	// and the phase-3 merge order — is deterministic.
+	sr := newStepRun(mt)
 	var pending []pendingMerge
-
-	for id := range ex.Mat {
+	for _, id := range sortedIDs(ex.Mat) {
 		e := mt.En.D.Equivs[id]
 		// Base-table aliases are maintained by the phase-2 delta application.
 		if e.IsTable || !e.DependsOn(T) {
@@ -122,8 +153,7 @@ func (mt *Maintainer) refreshOne(i int) {
 			case len(p.FullInputs) == 0 && len(p.DiffChildren) == 1:
 				// Maintainable: absorb the input's delta into the mergeable
 				// state during phase 3.
-				in := mt.execDiffPlan(p.DiffChildren[0])
-				pending = append(pending, pendingMerge{e: e, rel: in, agg: true})
+				pending = append(pending, pendingMerge{e: e, task: sr.taskFor(p.DiffChildren[0]), agg: true})
 			default:
 				pending = append(pending, pendingMerge{e: e, reco: true})
 			}
@@ -132,8 +162,11 @@ func (mt *Maintainer) refreshOne(i int) {
 		if p.Empty {
 			continue
 		}
-		pending = append(pending, pendingMerge{e: e, rel: mt.execDiffPlan(p)})
+		pending = append(pending, pendingMerge{e: e, task: sr.taskFor(p)})
 	}
+
+	// Phase 1: execute the task graph. All inputs are pre-update state.
+	sr.run(mt.Workers)
 
 	// Phase 2: fold the delta into the base relation.
 	if u.IsInsert(i) {
@@ -153,94 +186,26 @@ func (mt *Maintainer) refreshOne(i int) {
 			ex.MaterializeNode(pm.e)
 		case pm.agg:
 			at := ex.Agg[pm.e.ID]
-			if dirty := at.Absorb(pm.rel, sign); dirty {
+			if dirty := at.Absorb(pm.task.result(), sign); dirty {
 				ex.MaterializeNode(pm.e)
 			} else {
 				ex.Mat[pm.e.ID] = projectTo(at.Rows(), pm.e.Schema)
 			}
 		case sign > 0:
-			ex.Mat[pm.e.ID].InsertAll(projectTo(pm.rel, pm.e.Schema))
+			ex.Mat[pm.e.ID].InsertAll(projectTo(pm.task.result(), pm.e.Schema))
 		default:
-			ex.Mat[pm.e.ID].SubtractAll(projectTo(pm.rel, pm.e.Schema))
+			ex.Mat[pm.e.ID].SubtractAll(projectTo(pm.task.result(), pm.e.Schema))
 		}
 	}
-
-	// Differentials materialized for update i are dead after the round.
-	for k := range mt.diffStore {
-		if k.Update == i {
-			delete(mt.diffStore, k)
-		}
-	}
+	// The step's temporarily materialized differentials die with sr here.
 }
 
-// execDiffPlan interprets a differential plan against the current state.
-func (mt *Maintainer) execDiffPlan(p *diff.DiffPlan) *storage.Relation {
-	ex := mt.Ex
-	e := p.E
-	if p.Empty {
-		return storage.NewRelation(e.Schema)
+// sortedIDs returns the keys of a materialization map in ascending order.
+func sortedIDs(m map[int]*storage.Relation) []int {
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
 	}
-	if p.Reused {
-		key := diff.DiffKey{EquivID: e.ID, Update: p.Update}
-		if r := mt.diffStore[key]; r != nil {
-			return r
-		}
-		// First use: compute via the node's compute plan and store.
-		r := mt.execDiffPlan(mt.Ev.DiffPlan(e, p.Update))
-		mt.diffStore[key] = r
-		return r
-	}
-	op := p.Op
-	u := mt.En.U
-	switch op.Kind {
-	case dag.OpScan:
-		d := ex.DB.Delta(op.Table)
-		if u.IsInsert(p.Update) {
-			return projectTo(d.Plus, e.Schema)
-		}
-		return projectTo(d.Minus, e.Schema)
-	case dag.OpSelect:
-		return projectTo(filterRel(mt.execDiffPlan(p.DiffChildren[0]), op.Pred), e.Schema)
-	case dag.OpProject:
-		return projectTo(mt.execDiffPlan(p.DiffChildren[0]), e.Schema)
-	case dag.OpJoin:
-		dc := mt.execDiffPlan(p.DiffChildren[0])
-		var full *storage.Relation
-		if len(p.FullInputs) > 0 {
-			full = ex.Run(p.FullInputs[0])
-		} else {
-			// Index nested loops: probe the stored inner side.
-			full = ex.stored(mt.otherJoinChild(p))
-		}
-		return projectTo(hashJoin(dc, full, op.Pred), e.Schema)
-	case dag.OpAggregate:
-		// A maintainable aggregate differential consumed by an ancestor:
-		// aggregate the input delta (merge semantics are the ancestor's
-		// concern; the benchmark workloads materialize aggregates only at
-		// roots, where the Maintainer merges via AggTable instead).
-		in := mt.execDiffPlan(p.DiffChildren[0])
-		return projectTo(aggregate(in, op, e.Schema), e.Schema)
-	case dag.OpUnion:
-		out := storage.NewRelation(e.Schema)
-		for _, c := range p.DiffChildren {
-			out.InsertAll(projectTo(mt.execDiffPlan(c), e.Schema))
-		}
-		return out
-	case dag.OpMinus:
-		panic("exec: differential maintenance through multiset difference is not supported; " +
-			"materialize and recompute such views instead")
-	default:
-		panic(fmt.Sprintf("exec: differential plan over %s unsupported", op.Kind))
-	}
-}
-
-// otherJoinChild identifies the join input that is NOT the differential side.
-func (mt *Maintainer) otherJoinChild(p *diff.DiffPlan) *dag.Equiv {
-	depID := p.DiffChildren[0].E.ID
-	for _, c := range p.Op.Children {
-		if c.ID != depID {
-			return c
-		}
-	}
-	panic("exec: join differential with no full side")
+	sort.Ints(out)
+	return out
 }

@@ -2,7 +2,11 @@
 // plans produced by the volcano and diff optimizers against storage
 // relations, and drives incremental view refresh (compute differentials one
 // update at a time, merge them into stored results, fold deltas into base
-// relations — the procedure of paper §3.2.2).
+// relations — the procedure of paper §3.2.2). Within each update step the
+// differential computations are scheduled as a dependency task graph on a
+// GOMAXPROCS-bounded worker pool, with optimizer-shared differentials
+// computed exactly once (schedule.go); results are identical at any worker
+// count.
 //
 // The paper's authors had no execution engine and reported estimated costs
 // only (§7.1). This package exists so that maintenance plans can be executed

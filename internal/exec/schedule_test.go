@@ -1,0 +1,259 @@
+package exec
+
+// Tests for the concurrent DAG-scheduled refresh executor (schedule.go):
+// parallel refresh must produce results multiset-identical — and, for every
+// non-aggregate result, byte-identical — to the workers=1 sequential run, on
+// randomized workloads, under the race detector.
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+	"repro/internal/dag"
+	"repro/internal/diff"
+	"repro/internal/storage"
+)
+
+// trialState is everything one randomized refresh trial materialized.
+type trialState struct {
+	d   *dag.DAG
+	ex  *Executor
+	ids []int // materialized node IDs, ascending
+}
+
+// runTrial builds the randomized workload of random_test.go deterministically
+// from the trial number and refreshes it for two cycles with the given
+// worker-pool bound. Two calls with equal trial numbers see identical data,
+// views, materialization choices and update batches, so their results may be
+// compared row by row.
+func runTrial(t *testing.T, trial, workers int) trialState {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(1000 + trial)))
+	f := newFixture(int64(trial))
+	d := dag.New(f.cat)
+	nViews := 1 + rng.Intn(3)
+	var roots []*dag.Equiv
+	for v := 0; v < nViews; v++ {
+		roots = append(roots, d.AddQuery("v", randomView(f, rng)))
+	}
+	d.ApplySubsumption()
+
+	updRels := []string{"orders"}
+	if rng.Intn(2) == 0 {
+		updRels = append(updRels, "customer")
+	}
+	u := diff.UniformPercent(f.cat, updRels, float64(5+rng.Intn(30)))
+	en := diff.NewEngine(d, cost.NewModel(cost.Default()), u)
+
+	ms := diff.NewMatState()
+	ex := NewExecutor(f.db)
+	seen := map[int]bool{}
+	for _, r := range roots {
+		if !seen[r.ID] {
+			seen[r.ID] = true
+			ms.Fulls.Full[r.ID] = true
+			ex.MaterializeNode(r)
+		}
+	}
+	// Extra materialized subexpression, and temporarily materialized
+	// differentials to force shared tasks into the graph.
+	for _, e := range d.Equivs {
+		if !e.IsTable && !seen[e.ID] && len(e.Tables) >= 2 && rng.Intn(3) == 0 {
+			ms.Fulls.Full[e.ID] = true
+			ex.MaterializeNode(e)
+			seen[e.ID] = true
+			break
+		}
+	}
+	for _, e := range d.Equivs {
+		if !e.IsTable && e.DependsOn("orders") && rng.Intn(3) == 0 &&
+			e.Ops[0].Kind != dag.OpAggregate {
+			ms.Diffs[diff.DiffKey{EquivID: e.ID, Update: 1}] = true
+		}
+	}
+
+	mt := NewMaintainer(ex, en, en.NewEval(ms))
+	mt.Workers = workers
+
+	var nk int64 = 100000 * int64(trial+1)
+	for cycle := 0; cycle < 2; cycle++ {
+		for _, rel := range updRels {
+			f.logUpdates(rel, 5+rng.Intn(20), &nk)
+		}
+		mt.Refresh()
+	}
+
+	out := trialState{d: d, ex: ex}
+	for id := range ms.Fulls.Full {
+		out.ids = append(out.ids, id)
+	}
+	sort.Ints(out.ids)
+	return out
+}
+
+// sameRows reports whether two relations hold the same rows in the same
+// order (byte-identical content).
+func sameRows(a, b *storage.Relation) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i, t := range a.Rows() {
+		if !t.Equal(b.Rows()[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelRefreshMatchesSequential is the scheduler's golden test: for
+// randomized workloads, refresh at several worker counts and require every
+// maintained result to be multiset-identical to the workers=1 run — and
+// byte-identical for non-aggregate results, whose row order is deterministic
+// (aggregate results are rendered from a hash table, so their row order is
+// not deterministic even between two sequential runs). Run under -race this
+// also exercises the worker pool for memory-safety.
+func TestParallelRefreshMatchesSequential(t *testing.T) {
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		seq := runTrial(t, trial, 1)
+		for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+			par := runTrial(t, trial, workers)
+			for _, id := range seq.ids {
+				want, got := seq.ex.Mat[id], par.ex.Mat[id]
+				if got == nil {
+					t.Fatalf("trial %d workers %d: e%d not materialized", trial, workers, id)
+				}
+				if !storage.EqualMultiset(want, got) {
+					t.Fatalf("trial %d workers %d: e%d diverged as multiset: %d vs %d rows",
+						trial, workers, id, want.Len(), got.Len())
+				}
+				if seq.ex.Agg[id] == nil && !sameRows(want, got) {
+					t.Fatalf("trial %d workers %d: e%d multiset-equal but not byte-identical",
+						trial, workers, id)
+				}
+			}
+			// The parallel run must also stay exact against recomputation.
+			for _, id := range par.ids {
+				e := par.d.Equivs[id]
+				if !storage.EqualMultiset(par.ex.Mat[id], par.ex.EvalNode(e)) {
+					t.Fatalf("trial %d workers %d: e%d diverged from recomputation",
+						trial, workers, id)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersOneIsDegenerateSequential pins the degenerate case: workers=1
+// runs the whole task graph inline on the calling goroutine and must match
+// recomputation exactly (it IS the sequential reference everything else is
+// compared against).
+func TestWorkersOneIsDegenerateSequential(t *testing.T) {
+	st := runTrial(t, 3, 1)
+	for _, id := range st.ids {
+		if !storage.EqualMultiset(st.ex.Mat[id], st.ex.EvalNode(st.d.Equivs[id])) {
+			t.Fatalf("workers=1: e%d diverged from recomputation", id)
+		}
+	}
+}
+
+// TestTaskGraphSharesDifferentials white-boxes the task graph: with a
+// temporarily materialized differential consumed by two views, the step
+// graph must hold exactly one task for the shared key, wired as a
+// dependency of both consumers, and running the graph must publish results
+// that match direct plan interpretation.
+func TestTaskGraphSharesDifferentials(t *testing.T) {
+	f := newFixture(7)
+	d := dag.New(f.cat)
+	// Two aggregate views over the same orders⋈customer join, so both
+	// consume the shared join node's differential. (A select on top would
+	// not share: SPJ expansion pushes the predicate into its own join
+	// block, giving a different join node.)
+	oc := func() algebra.Node {
+		return algebra.NewJoin(algebra.And(algebra.Eq("orders.o_cust", "customer.c_key")),
+			algebra.NewScan(f.cat, "orders"), algebra.NewScan(f.cat, "customer"))
+	}
+	v1 := d.AddQuery("v1", algebra.NewAggregate(
+		[]algebra.ColRef{algebra.C("orders.o_cust")},
+		[]algebra.AggSpec{{Func: algebra.Sum, Col: algebra.C("orders.o_price")}}, oc()))
+	v2 := d.AddQuery("v2", algebra.NewAggregate(
+		[]algebra.ColRef{algebra.C("customer.c_nation")},
+		[]algebra.AggSpec{{Func: algebra.Count}}, oc()))
+	d.ApplySubsumption()
+
+	u := diff.UniformPercent(f.cat, []string{"orders"}, 10)
+	en := diff.NewEngine(d, cost.NewModel(cost.Default()), u)
+
+	var ocNode *dag.Equiv
+	for _, e := range d.Equivs {
+		if e.Ops[0].Kind == dag.OpJoin && len(e.Tables) == 2 &&
+			e.DependsOn("orders") && e.DependsOn("customer") {
+			ocNode = e
+		}
+	}
+	if ocNode == nil {
+		t.Fatal("shared join node missing")
+	}
+
+	ms := diff.NewMatState()
+	ex := NewExecutor(f.db)
+	for _, r := range []*dag.Equiv{v1, v2} {
+		ms.Fulls.Full[r.ID] = true
+		ex.MaterializeNode(r)
+	}
+	key := diff.DiffKey{EquivID: ocNode.ID, Update: 1}
+	ms.Diffs[key] = true
+	ev := en.NewEval(ms)
+	mt := NewMaintainer(ex, en, ev)
+
+	var nk int64 = 500000
+	f.logUpdates("orders", 12, &nk)
+
+	sr := newStepRun(mt)
+	t1 := sr.taskFor(ev.DiffPlan(v1, 1))
+	t2 := sr.taskFor(ev.DiffPlan(v2, 1))
+	shared, ok := sr.tasks[key]
+	if !ok {
+		t.Fatalf("no task for the shared differential %v", key)
+	}
+	for _, consumer := range []*diffTask{t1, t2} {
+		found := false
+		for _, dep := range consumer.deps {
+			if dep == shared {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("consumer δ1(e%d) does not depend on the shared task", consumer.key.EquivID)
+		}
+	}
+	if len(shared.dependents) != 2 {
+		t.Fatalf("shared task has %d dependents, want 2", len(shared.dependents))
+	}
+
+	sr.run(4)
+	for _, task := range []*diffTask{t1, t2, shared} {
+		if task.out.Get() == nil {
+			t.Fatalf("task δ%d(e%d) did not publish", task.key.Update, task.key.EquivID)
+		}
+	}
+	// The pool's published results must equal an independent sequential
+	// interpretation of the same plans.
+	sr2 := newStepRun(mt)
+	w1 := sr2.taskFor(ev.DiffPlan(v1, 1))
+	w2 := sr2.taskFor(ev.DiffPlan(v2, 1))
+	sr2.run(1)
+	// The consumers are aggregate deltas (hash-table row order, so compared
+	// as multisets); the shared join differential must be byte-identical.
+	if !storage.EqualMultiset(t1.out.Get(), w1.out.Get()) ||
+		!storage.EqualMultiset(t2.out.Get(), w2.out.Get()) {
+		t.Fatal("parallel task results differ from sequential interpretation")
+	}
+	if !sameRows(shared.out.Get(), sr2.tasks[key].out.Get()) {
+		t.Fatal("shared join differential is not byte-identical across runs")
+	}
+}

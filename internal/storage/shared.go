@@ -1,0 +1,42 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Concurrency contract of the storage layer: a Relation is NOT safe for
+// concurrent mutation, but it is safe for any number of concurrent readers
+// once a happens-before barrier separates the last write from the first
+// read. Shared is that barrier: a write-once cell that computes a Relation
+// exactly once and publishes it to concurrent readers. The refresh
+// scheduler (internal/exec) stores every temporarily materialized
+// differential in a Shared so that independent consumers running on
+// different workers read one published copy instead of racing to compute
+// their own.
+
+// Shared is a write-once, read-many cell for a Relation.
+//
+// The zero value is ready to use. Publish runs at most one compute across
+// all callers and blocks the rest until the result is available; the
+// atomic publication is the write barrier that makes the relation's rows
+// safe to read from any goroutine that obtained it via Publish or Get.
+// The published relation must not be mutated.
+type Shared struct {
+	once sync.Once
+	rel  atomic.Pointer[Relation]
+}
+
+// Publish computes and publishes the relation on first call and returns the
+// published copy on every call, blocking callers until it is available.
+func (s *Shared) Publish(compute func() *Relation) *Relation {
+	s.once.Do(func() { s.rel.Store(compute()) })
+	return s.rel.Load()
+}
+
+// Get returns the published relation without blocking, or nil if no
+// Publish has completed yet. A non-nil result is safe to read: the atomic
+// load acquires everything written before the publishing store.
+func (s *Shared) Get() *Relation {
+	return s.rel.Load()
+}

@@ -1,8 +1,10 @@
 // Package storage provides the in-memory storage layer: multiset relations,
-// hash indexes, and delta relations (δ+ / δ−) that accumulate inserts and
-// deletes between view refreshes. The paper assumes updates are logged into
-// delta relations and handed to the refresh mechanism (§3); this package is
-// that mechanism's substrate.
+// hash indexes, delta relations (δ+ / δ−) that accumulate inserts and
+// deletes between view refreshes, and the Shared write-once cell that
+// publishes relations to concurrent readers (see shared.go for the
+// concurrency contract). The paper assumes updates are logged into delta
+// relations and handed to the refresh mechanism (§3); this package is that
+// mechanism's substrate.
 package storage
 
 import (

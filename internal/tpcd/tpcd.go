@@ -292,16 +292,21 @@ func Generate(cat *catalog.Catalog, sf float64, seed int64) *storage.Database {
 }
 
 // LogUniformUpdates logs pct% inserts and pct/2 % deletes on every relation
-// in rels, matching the paper's update model, and returns the key counter so
-// repeated batches generate fresh keys.
+// in rels, matching the paper's update model. The batch is a pure function
+// of (database state, seed): inserted keys are drawn from a per-seed range,
+// so identically built databases receiving the same seeds stay byte-
+// identical across processes and runs — the property the parallel-refresh
+// golden tests compare against. Distinct batches on one database must use
+// distinct seeds, or their fresh keys would collide.
 func LogUniformUpdates(cat *catalog.Catalog, db *storage.Database, rels []string, pct float64, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
+	nextKey := syntheticKeyBase(seed)
 	for _, name := range rels {
 		rel := db.MustRelation(name)
 		nIns := int(float64(rel.Len()) * pct / 100)
 		nDel := nIns / 2
 		for j := 0; j < nIns; j++ {
-			db.LogInsert(name, synthesizeRow(cat, name, rng))
+			db.LogInsert(name, synthesizeRow(cat, name, rng, &nextKey))
 		}
 		perm := rng.Perm(rel.Len())
 		if nDel > rel.Len() {
@@ -313,13 +318,20 @@ func LogUniformUpdates(cat *catalog.Catalog, db *storage.Database, rels []string
 	}
 }
 
-// nextSyntheticKey hands out fresh keys far above any generated key space.
-var nextSyntheticKey int64 = 1 << 40
+// syntheticKeyBase maps a batch seed to the start of its fresh-key range,
+// far above any generated key space. Ranges of distinct seeds are disjoint
+// (up to 2^20 inserted rows per batch); unlike the process-global counter it
+// replaces, the range depends only on the seed, keeping update batches
+// reproducible run to run.
+func syntheticKeyBase(seed int64) int64 {
+	return 1<<40 + seed*(1<<20)
+}
 
-// synthesizeRow builds a plausible fresh row for a table.
-func synthesizeRow(cat *catalog.Catalog, name string, rng *rand.Rand) algebra.Tuple {
-	nextSyntheticKey++
-	k := nextSyntheticKey
+// synthesizeRow builds a plausible fresh row for a table, taking its key
+// from the batch's counter.
+func synthesizeRow(cat *catalog.Catalog, name string, rng *rand.Rand, nextKey *int64) algebra.Tuple {
+	*nextKey++
+	k := *nextKey
 	switch name {
 	case "region":
 		return algebra.Tuple{algebra.NewInt(k), algebra.NewString("region-new")}

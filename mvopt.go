@@ -15,7 +15,8 @@
 //	volcano — best-plan search with materialized-result reuse
 //	diff    — differential (view maintenance) plan costing
 //	greedy  — the paper's greedy selection with its optimizations
-//	exec    — an in-memory execution engine and refresh driver
+//	exec    — an in-memory execution engine whose refresh driver schedules
+//	          each update step's differentials concurrently as a task graph
 //	tpcd    — the TPC-D benchmark substrate of the paper's evaluation
 //	bench   — regenerates every figure/table of the paper's §7
 //

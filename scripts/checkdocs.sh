@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# checkdocs.sh — documentation gate, run by CI and usable locally.
+#
+#   1. gofmt: no Go file may need reformatting.
+#   2. Required docs exist: README.md, ARCHITECTURE.md.
+#   3. Intra-repo markdown links resolve: every [text](target) in a
+#      tracked *.md file whose target is not an URL or pure anchor must
+#      point at an existing file (anchors after '#' are stripped).
+#      SNIPPETS.md is exempt: it quotes exemplar material from external
+#      repositories verbatim, including their internal links.
+set -u
+cd "$(dirname "$0")/.."
+fail=0
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+for doc in README.md ARCHITECTURE.md; do
+    if [ ! -f "$doc" ]; then
+        echo "missing required doc: $doc" >&2
+        fail=1
+    fi
+done
+
+while IFS=: read -r file target; do
+    case "$target" in
+        http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$(dirname "$file")/$path" ]; then
+        echo "$file: broken link -> $target" >&2
+        fail=1
+    fi
+done < <(git ls-files '*.md' | grep -v '^SNIPPETS\.md$' | while read -r f; do
+    grep -o '\[[^]]*\]([^)]*)' "$f" 2>/dev/null \
+        | sed -e 's/^\[[^]]*\](//' -e 's/)$//' \
+        | while read -r t; do printf '%s:%s\n' "$f" "$t"; done
+done)
+
+if [ "$fail" -ne 0 ]; then
+    echo "checkdocs: FAILED" >&2
+    exit 1
+fi
+echo "checkdocs: OK"

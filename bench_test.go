@@ -161,6 +161,31 @@ func BenchmarkParallelRefresh(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentServe measures the query-serving layer under write
+// pressure: 4 reader goroutines issue SQL queries against epoch snapshots
+// while the writer runs full refresh cycles on the ten-view workload
+// (SF 0.002). Reported: aggregate serving throughput, total queries
+// answered, and the writer's refresh time per cycle.
+func BenchmarkConcurrentServe(b *testing.B) {
+	var r bench.ServeResult
+	for i := 0; i < b.N; i++ {
+		r = bench.ConcurrentServe(bench.ServeConfig{
+			ScaleFactor: 0.002, UpdatePct: 4,
+			Readers: 4, Cycles: 2,
+		})
+		if !r.Verified {
+			b.Fatalf("maintained views diverged from recomputation")
+		}
+	}
+	qps := 0.0
+	for _, q := range r.PerReaderQPS {
+		qps += q
+	}
+	b.ReportMetric(qps, "queries/s")
+	b.ReportMetric(float64(r.Queries), "queries")
+	b.ReportMetric(r.RefreshTotal.Seconds()*1000/float64(r.Cfg.Cycles), "refresh-ms/cycle")
+}
+
 // BenchmarkAblation quantifies the §6.2 optimizations (incremental cost
 // update, monotonicity) and DAG subsumption on the ten-view workload.
 func BenchmarkAblation(b *testing.B) {

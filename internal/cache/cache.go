@@ -37,19 +37,37 @@ type entry struct {
 	uses int
 }
 
-// Manager is the dynamic cache controller.
+// Manager is the dynamic cache controller. It is not safe for concurrent
+// use; the serving layer serializes planning calls behind one mutex and
+// runs only the (lock-free) plan execution concurrently.
 type Manager struct {
-	Cat   *catalog.Catalog
-	Dag   *dag.DAG
-	Opt   *volcano.Optimizer
+	// Cat is the catalog the managed DAG is built over.
+	Cat *catalog.Catalog
+	// Dag is the managed AND-OR DAG; every observed query is inserted into
+	// it so repeats and overlaps unify.
+	Dag *dag.DAG
+	// Opt is the plan-search instance used for cost projections.
+	Opt *volcano.Optimizer
+	// Model is the cost model behind Opt.
 	Model *cost.Model
 	// Budget is the cache size in bytes.
 	Budget float64
 	// Decay ∈ (0,1] ages entry rates each query (smaller = faster aging).
 	Decay float64
+	// Base is a materialized set treated as always stored (for free, outside
+	// the budget): the serving layer passes the maintained views, the greedy
+	// extras, and their indexes here, so query plans reuse them and the
+	// cache only admits results that beat what maintenance already stores.
+	// Nil behaves as the empty set; it must not be mutated after the first
+	// query (coldCost memoizes plans found under it).
+	Base *volcano.MatSet
 
 	entries map[int]*entry
 	sizer   *dag.Sizer
+	// coldCost memoizes the cache-free cost per root: it depends only on
+	// the root, Base, and static catalog statistics, so repeats of a query
+	// skip the second Volcano search.
+	coldCost map[int]float64
 	// stats
 	queries int
 	hits    int
@@ -58,22 +76,38 @@ type Manager struct {
 	ColdCost, CachedCost float64
 }
 
-// New creates a cache manager with the given byte budget.
+// New creates a cache manager with the given byte budget over a fresh DAG.
 func New(cat *catalog.Catalog, params cost.Params, budgetBytes float64) *Manager {
-	d := dag.New(cat)
-	model := cost.NewModel(params)
+	return NewOver(dag.New(cat), cost.NewModel(params), budgetBytes, nil)
+}
+
+// NewOver creates a cache manager over an existing DAG — one that already
+// holds view definitions, so observed queries unify with their equivalence
+// nodes — with base treated as already materialized (may be nil). The DAG
+// must not be shared with a concurrently-running optimizer or refresh.
+func NewOver(d *dag.DAG, model *cost.Model, budgetBytes float64, base *volcano.MatSet) *Manager {
 	opt := volcano.New(d, model)
 	return &Manager{
-		Cat: cat, Dag: d, Opt: opt, Model: model,
-		Budget: budgetBytes, Decay: 0.8,
-		entries: make(map[int]*entry),
-		sizer:   dag.NewSizer(opt.Est, nil),
+		Cat: d.Cat, Dag: d, Opt: opt, Model: model,
+		Budget: budgetBytes, Decay: 0.8, Base: base,
+		entries:  make(map[int]*entry),
+		sizer:    dag.NewSizer(opt.Est, nil),
+		coldCost: make(map[int]float64),
 	}
 }
 
-// matSet builds the volcano view of the current cache contents.
+// baseSet returns the always-materialized baseline (never nil).
+func (m *Manager) baseSet() *volcano.MatSet {
+	if m.Base != nil {
+		return m.Base
+	}
+	return volcano.NewMatSet()
+}
+
+// matSet builds the volcano view of the current cache contents on top of
+// the base materialized set.
 func (m *Manager) matSet() *volcano.MatSet {
-	ms := volcano.NewMatSet()
+	ms := m.baseSet().Clone()
 	for id := range m.entries {
 		ms.Full[id] = true
 	}
@@ -94,22 +128,41 @@ func (m *Manager) Execute(name string, def algebra.Node) (*volcano.PlanNode, err
 	if err != nil {
 		return nil, err
 	}
+	return m.ExecuteRoot(root), nil
+}
+
+// ExecuteRoot is Execute for a query already inserted into the managed DAG
+// (the serving layer inserts via dag.InsertExpr to keep the root list from
+// growing with repeats).
+func (m *Manager) ExecuteRoot(root *dag.Equiv) *volcano.PlanNode {
 	m.queries++
 
-	// Cost with and without the cache.
+	// Cost with the cache and with the base materializations alone.
 	ms := m.matSet()
 	plan := m.Opt.Best(root, ms, m.sizer, m.Opt.NewMemo())
-	cold := m.Opt.Best(root, volcano.NewMatSet(), m.sizer, m.Opt.NewMemo())
+	cold, ok := m.coldCost[root.ID]
+	if !ok {
+		cold = m.Opt.Best(root, m.baseSet(), m.sizer, m.Opt.NewMemo()).CumCost
+		m.coldCost[root.ID] = cold
+	}
 	m.CachedCost += plan.CumCost
-	m.ColdCost += cold.CumCost
+	m.ColdCost += cold
 
-	// Attribute realized savings to the entries the plan reused.
+	// Attribute realized savings to the entries the plan reused. A hit is a
+	// reuse of a cache entry, not of a base materialization or table index.
 	used := map[int]bool{}
 	collectReused(plan, used)
-	if len(used) > 0 {
+	hit := false
+	for id := range used {
+		if _, ok := m.entries[id]; ok {
+			hit = true
+			break
+		}
+	}
+	if hit {
 		m.hits++
 	}
-	saved := math.Max(0, cold.CumCost-plan.CumCost)
+	saved := math.Max(0, cold-plan.CumCost)
 	for id := range m.entries {
 		m.entries[id].rate *= m.Decay
 	}
@@ -124,7 +177,15 @@ func (m *Manager) Execute(name string, def algebra.Node) (*volcano.PlanNode, err
 	// projected benefit of a node is the cost drop of THIS query if the node
 	// were cached (future repeats are assumed similar).
 	m.consider(root, ms, plan.CumCost)
-	return plan, nil
+	return plan
+}
+
+// BasePlan returns the best plan for a node reusing only the base
+// materialized set — no cache entries. The serving layer uses it to refill
+// an admitted entry's rows after a refresh invalidated them: the plan's
+// reuse leaves are guaranteed to resolve against the snapshot alone.
+func (m *Manager) BasePlan(e *dag.Equiv) *volcano.PlanNode {
+	return m.Opt.Best(e, m.baseSet(), m.sizer, m.Opt.NewMemo())
 }
 
 // insert adds the query into the DAG, converting panics to errors.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/catalog"
@@ -312,11 +313,17 @@ func (s *System) OptimizeWorkload(u *diff.UpdateSpec, cfg greedy.Config) *Mainte
 	return plan
 }
 
-// Runtime executes a maintenance plan against real data.
+// Runtime executes a maintenance plan against real data. Refresh drives
+// incremental maintenance; EnableServing/Query (serve.go) additionally
+// serve read-only SQL queries concurrently with refreshes under epoch-based
+// snapshot isolation.
 type Runtime struct {
 	Plan *MaintenancePlan
 	Ex   *exec.Executor
 	Mt   *exec.Maintainer
+
+	srvMu sync.Mutex
+	srv   *server
 }
 
 // NewRuntime materializes every result the plan expects (views plus chosen

@@ -1,0 +1,369 @@
+package core
+
+// Query serving over the maintained views. EnableServing turns a refresh
+// Runtime into a read/write system: any number of goroutines call Query
+// with SQL text while one writer runs Refresh. Isolation is epoch-based —
+// the Maintainer publishes every update step's outcome as an immutable
+// storage.Snapshot, and a query executes entirely against the snapshot that
+// was current when it was planned, so it observes the state of exactly one
+// step boundary, never a torn mix (see ARCHITECTURE.md, "Serving and
+// snapshots").
+//
+// Planning runs over a serving AND-OR DAG: a replica of the system DAG's
+// front end (the registered view and query definitions, with the same
+// subsumption derivations), so ad-hoc queries unify with the equivalence
+// nodes whose results maintenance keeps materialized, and the Volcano
+// search answers from stored results and indexes whenever that is cheaper
+// than computing from base relations. The replica exists so that query
+// planning — which grows the DAG when a new query shape arrives — shares no
+// mutable structure with the concurrently-running refresh; the two DAGs are
+// correlated by canonical node key (dag.Lookup). Hot query results are
+// additionally admitted into a cache.Manager by projected benefit; admitted
+// results are materialized lazily per epoch and invalidated whenever a new
+// snapshot is published.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/algebra"
+	"repro/internal/cache"
+	"repro/internal/dag"
+	"repro/internal/exec"
+	"repro/internal/storage"
+	"repro/internal/viewdef"
+	"repro/internal/volcano"
+)
+
+// ServeOptions configures Runtime.EnableServing.
+type ServeOptions struct {
+	// CacheBudget is the dynamic result cache size in bytes. 0 selects the
+	// default (64 MB); a negative value disables result caching entirely.
+	CacheBudget float64
+	// RetainHistory makes the snapshot store keep every published snapshot,
+	// so tests can compare query results against exact step-boundary states.
+	// It pins every relation version ever published; leave it off outside
+	// bounded test runs.
+	RetainHistory bool
+}
+
+// QueryResult is the answer to one served query.
+type QueryResult struct {
+	// SQL is the query text as submitted.
+	SQL string
+	// Rows holds the result. It may alias a materialized or cached relation
+	// and must not be mutated.
+	Rows *storage.Relation
+	// Plan is the chosen physical plan (over the serving DAG).
+	Plan *volcano.PlanNode
+	// Epoch identifies the snapshot the query executed against: the number
+	// of refresh update steps that had been published at planning time.
+	Epoch int64
+	// EstCost is the optimizer's cost estimate for Plan, in cost-model
+	// seconds.
+	EstCost float64
+	// CacheHit reports whether the plan read at least one dynamically
+	// cached result (as opposed to plan-time materializations, which are
+	// not counted).
+	CacheHit bool
+}
+
+// ServeStats counts serving activity since EnableServing.
+type ServeStats struct {
+	// Queries is the number of successfully planned queries.
+	Queries int64
+	// CacheHits is the number of queries whose plan read at least one
+	// dynamically cached result.
+	CacheHits int64
+	// Refills is the number of cache-entry materializations: an admitted
+	// entry's rows are computed on first reuse and again after each refresh
+	// step invalidates them.
+	Refills int64
+}
+
+// maxRootMemo caps the query-text → root memo. When full it is reset
+// wholesale rather than evicted: re-memoizing a text is one parse plus a
+// DAG walk that unifies with existing nodes, so the reset is cheap and the
+// memo cannot grow with distinct query texts. (Distinct query *shapes*
+// still grow the serving DAG monotonically — acceptable for bounded
+// workloads, the assumption everywhere else in this system.)
+const maxRootMemo = 8192
+
+// server is the planning half of the serving layer. Everything behind mu is
+// shared mutable state touched only while planning; execution runs outside
+// the lock against immutable snapshots.
+type server struct {
+	mu  sync.Mutex
+	dag *dag.DAG
+	mgr *cache.Manager
+	// roots memoizes insertion by query text, so repeated queries skip the
+	// parse and DAG walk entirely (bounded by maxRootMemo).
+	roots map[string]*dag.Equiv
+	// toSys maps serving-DAG node IDs to system-DAG node IDs for every
+	// result the maintenance plan keeps materialized; snapshot lookups are
+	// keyed by system IDs.
+	toSys map[int]int
+	// rows holds the materialized rows of admitted cache entries, valid for
+	// rowsEpoch only.
+	rows      map[int]*storage.Relation
+	rowsEpoch int64
+	stats     ServeStats
+}
+
+// EnableServing switches the runtime into snapshot-publishing mode and
+// builds the query-serving front end. Call it once, before starting any
+// concurrent Refresh; it is idempotent. After it returns, Query may be
+// called from any number of goroutines concurrently with one goroutine
+// running Refresh.
+func (r *Runtime) EnableServing(opts ServeOptions) {
+	r.srvMu.Lock()
+	defer r.srvMu.Unlock()
+	r.enableServingLocked(opts)
+}
+
+func (r *Runtime) enableServingLocked(opts ServeOptions) {
+	if r.srv != nil {
+		return
+	}
+	budget := opts.CacheBudget
+	switch {
+	case budget == 0:
+		budget = 64 << 20
+	case budget < 0:
+		budget = 0
+	}
+
+	st := storage.NewSnapshotStore()
+	st.RetainHistory(opts.RetainHistory)
+	st.PublishState(r.Ex.DB, r.Ex.Mat) // epoch 0: the initial materialized state
+	r.Mt.Snap = st
+
+	// Replica serving DAG: replay the system DAG's definitions (and its
+	// subsumption pass) so every node the plan materialized has a same-key
+	// counterpart here.
+	sys := r.Plan.System
+	sd := dag.New(sys.Cat)
+	for _, v := range sys.Views {
+		sd.AddQuery(v.Name, v.Def)
+	}
+	for _, q := range sys.Queries {
+		sd.AddQuery(q.Name, q.Def)
+	}
+	if !sys.disableSubsumption {
+		sd.ApplySubsumption()
+	}
+
+	base := volcano.NewMatSet()
+	toSys := make(map[int]int)
+	for sysID := range r.Plan.Eval.MS.Fulls.Full {
+		if se := sd.Lookup(sys.Dag.Equivs[sysID].Key); se != nil {
+			base.Full[se.ID] = true
+			toSys[se.ID] = sysID
+		}
+	}
+	for ik := range r.Plan.Eval.MS.Fulls.Indexes {
+		if se := sd.Lookup(sys.Dag.Equivs[ik.EquivID].Key); se != nil {
+			base.Indexes[volcano.IndexKey{EquivID: se.ID, Col: ik.Col}] = true
+		}
+	}
+
+	r.srv = &server{
+		dag:   sd,
+		mgr:   cache.NewOver(sd, sys.Model, budget, base),
+		roots: make(map[string]*dag.Equiv),
+		toSys: toSys,
+		rows:  make(map[int]*storage.Relation),
+	}
+}
+
+// server returns the serving front end, enabling it with defaults on first
+// use. First use must not race with a running Refresh — call EnableServing
+// explicitly before serving concurrently with refreshes.
+func (r *Runtime) server() *server {
+	r.srvMu.Lock()
+	defer r.srvMu.Unlock()
+	r.enableServingLocked(ServeOptions{})
+	return r.srv
+}
+
+// Snapshots exposes the snapshot store (nil until serving is enabled).
+// Tests use it to retain and inspect step-boundary states.
+func (r *Runtime) Snapshots() *storage.SnapshotStore { return r.Mt.Snap }
+
+// serverIfEnabled returns the serving front end without enabling it: the
+// read-only accessors must not switch Refresh into snapshot mode as a side
+// effect.
+func (r *Runtime) serverIfEnabled() *server {
+	r.srvMu.Lock()
+	defer r.srvMu.Unlock()
+	return r.srv
+}
+
+// ServeStats returns a copy of the serving counters (zero before serving
+// is enabled).
+func (r *Runtime) ServeStats() ServeStats {
+	s := r.serverIfEnabled()
+	if s == nil {
+		return ServeStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// CacheReport renders the dynamic cache manager's session summary (empty
+// before serving is enabled).
+func (r *Runtime) CacheReport() string {
+	s := r.serverIfEnabled()
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr.Report()
+}
+
+// Query parses, plans and executes one read-only query against the current
+// snapshot. Safe to call from any number of goroutines concurrently with
+// one writer running Refresh (enable serving first). Planning — parse,
+// DAG insertion/unification, Volcano search, cache admission — is
+// serialized behind the serving mutex; execution runs lock-free against the
+// immutable snapshot that was current at planning time, so the result
+// reflects exactly one update-step boundary.
+func (r *Runtime) Query(sql string) (*QueryResult, error) {
+	s := r.server()
+
+	s.mu.Lock()
+	root := s.roots[sql]
+	if root == nil {
+		def, err := viewdef.Parse(r.Plan.System.Cat, sql)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		root, err = s.insert(def)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		if len(s.roots) >= maxRootMemo {
+			s.roots = make(map[string]*dag.Equiv)
+		}
+		s.roots[sql] = root
+	}
+
+	snap := r.Mt.Snap.Current()
+	if snap.Epoch() != s.rowsEpoch {
+		// A refresh step was published since the last query: every cached
+		// entry's rows reflect an older epoch. Drop them; the admission
+		// state (decayed benefit rates) survives and entries refill lazily.
+		s.rows = make(map[int]*storage.Relation)
+		s.rowsEpoch = snap.Epoch()
+	}
+
+	plan := s.mgr.ExecuteRoot(root)
+	mats := make(map[int]*storage.Relation)
+	var refills []refill
+	hit := false
+	if err := s.resolve(plan, snap, mats, &refills, &hit); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.stats.Queries++
+	if hit {
+		s.stats.CacheHits++
+	}
+	epoch := snap.Epoch()
+	s.mu.Unlock()
+
+	// Execution — the expensive part — runs outside the lock against the
+	// immutable snapshot. Pending cache refills execute first (their
+	// base-only plans are mutually independent), then are installed back
+	// into the cache unless a newer epoch has invalidated it meanwhile.
+	for _, rf := range refills {
+		rex := &exec.Executor{DB: snap.Database(), Mat: mats}
+		mats[rf.id] = rex.Run(rf.plan)
+	}
+	if len(refills) > 0 {
+		s.mu.Lock()
+		if s.rowsEpoch == epoch {
+			for _, rf := range refills {
+				if s.rows[rf.id] == nil {
+					s.rows[rf.id] = mats[rf.id]
+					s.stats.Refills++
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	ex := &exec.Executor{DB: snap.Database(), Mat: mats}
+	rows := ex.Run(plan)
+	return &QueryResult{
+		SQL: sql, Rows: rows, Plan: plan,
+		Epoch: epoch, EstCost: plan.CumCost, CacheHit: hit,
+	}, nil
+}
+
+// refill is a deferred cache-entry materialization: the entry's base-only
+// plan, executed outside the serving mutex.
+type refill struct {
+	id   int
+	plan *volcano.PlanNode
+}
+
+// insert adds a query definition to the serving DAG, converting panics
+// (unknown columns and the like) to errors.
+func (s *server) insert(def algebra.Node) (e *dag.Equiv, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: invalid query: %v", r)
+		}
+	}()
+	return s.dag.InsertExpr(def), nil
+}
+
+// resolve populates mats with the relation behind every Reuse/Probe leaf of
+// a plan, reading the snapshot for plan-time materializations and the
+// dynamic cache for admitted entries. An entry whose rows are missing for
+// the current epoch is only *planned* here (a base-only plan whose reuse
+// leaves resolve against the snapshot alone, so it cannot recurse back into
+// the cache) and recorded in refills; the caller executes it outside the
+// serving mutex. Must hold s.mu.
+func (s *server) resolve(p *volcano.PlanNode, snap *storage.Snapshot, mats map[int]*storage.Relation, refills *[]refill, hit *bool) error {
+	if p.Access == volcano.Reuse || p.Access == volcano.Probe {
+		e := p.E
+		if e.IsTable {
+			return nil // resolved through the snapshot database
+		}
+		if _, done := mats[e.ID]; done {
+			return nil
+		}
+		if sysID, ok := s.toSys[e.ID]; ok {
+			m := snap.Mat(sysID)
+			if m == nil {
+				return fmt.Errorf("core: materialized e%d missing from snapshot %d", sysID, snap.Epoch())
+			}
+			mats[e.ID] = m
+			return nil
+		}
+		if rw, ok := s.rows[e.ID]; ok {
+			mats[e.ID] = rw
+			*hit = true
+			return nil
+		}
+		// Mark pending before recursing so a duplicate leaf plans it once.
+		mats[e.ID] = nil
+		rplan := s.mgr.BasePlan(e)
+		if err := s.resolve(rplan, snap, mats, refills, hit); err != nil {
+			return err
+		}
+		*refills = append(*refills, refill{id: e.ID, plan: rplan})
+		return nil
+	}
+	for _, c := range p.Children {
+		if err := s.resolve(c, snap, mats, refills, hit); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -251,6 +251,19 @@ func (d *DAG) AddQuery(name string, root algebra.Node) *Equiv {
 	return e
 }
 
+// InsertExpr inserts a definition like AddQuery but without registering a
+// root, returning its equivalence node. Serving front ends use it for ad-hoc
+// queries: a repeated query unifies with the nodes already present and adds
+// nothing, so the DAG does not grow with the query count, only with the
+// number of distinct query shapes.
+func (d *DAG) InsertExpr(n algebra.Node) *Equiv { return d.insert(n) }
+
+// Lookup returns the equivalence node with the given canonical key, or nil.
+// Keys are stable across DAG instances built over the same catalog, so a
+// node of one DAG can be located in another by key (the serving layer maps
+// the optimizer's materialized set into its own DAG this way).
+func (d *DAG) Lookup(key string) *Equiv { return d.byKey[key] }
+
 // insert recursively translates a logical tree into DAG nodes.
 func (d *DAG) insert(n algebra.Node) *Equiv {
 	switch t := n.(type) {

@@ -28,6 +28,18 @@ type Maintainer struct {
 	// results, and merges run in a fixed order on the caller.
 	Workers int
 
+	// Snap, when non-nil, switches Refresh to snapshot-publishing mode for
+	// concurrent query serving: every relation mutated by an update step —
+	// the base relation receiving the delta and every merged materialized
+	// result — is replaced by a fresh copy-on-write version instead of being
+	// mutated in place, and the post-step state is published as a new
+	// immutable storage.Snapshot. Concurrent readers holding the previous
+	// snapshot keep seeing the pre-step state untorn; the writer never
+	// blocks on them. Merged rows are identical to the in-place mode (the
+	// COW operations preserve row order), at the cost of one relation copy
+	// per mutated result per step.
+	Snap *storage.SnapshotStore
+
 	// descCache memoizes dag.Descendants per consumer node for the task
 	// graph's downward-edge validation: the DAG and the chosen plans are
 	// fixed for the Maintainer's lifetime, so one traversal per consumer
@@ -168,14 +180,32 @@ func (mt *Maintainer) refreshOne(i int) {
 	// Phase 1: execute the task graph. All inputs are pre-update state.
 	sr.run(mt.Workers)
 
-	// Phase 2: fold the delta into the base relation.
-	if u.IsInsert(i) {
+	// Phase 2: fold the delta into the base relation. In snapshot mode the
+	// base gets a fresh copy-on-write version and any materialization-map
+	// alias of it (base-table equivalence nodes) is re-pointed; readers
+	// holding the previous snapshot keep the old version.
+	cow := mt.Snap != nil
+	if cow {
+		var nb *storage.Relation
+		if u.IsInsert(i) {
+			nb = ex.DB.ApplyInsertsCOW(T)
+		} else {
+			nb = ex.DB.ApplyDeletesCOW(T)
+		}
+		for id := range ex.Mat {
+			if e := mt.En.D.Equivs[id]; e.IsTable && e.Tables[0] == T {
+				ex.Mat[id] = nb
+			}
+		}
+	} else if u.IsInsert(i) {
 		ex.DB.ApplyInserts(T)
 	} else {
 		ex.DB.ApplyDeletes(T)
 	}
 
-	// Phase 3: merge.
+	// Phase 3: merge. The aggregate and recompute arms install fresh
+	// relations in both modes; the append/subtract arms mutate in place
+	// normally and build a copy-on-write version in snapshot mode.
 	sign := int64(1)
 	if !u.IsInsert(i) {
 		sign = -1
@@ -192,10 +222,31 @@ func (mt *Maintainer) refreshOne(i int) {
 				ex.Mat[pm.e.ID] = projectTo(at.Rows(), pm.e.Schema)
 			}
 		case sign > 0:
-			ex.Mat[pm.e.ID].InsertAll(projectTo(pm.task.result(), pm.e.Schema))
+			delta := projectTo(pm.task.result(), pm.e.Schema)
+			if delta.Len() == 0 {
+				continue // identity merge: keep the current (published) version
+			}
+			if cow {
+				ex.Mat[pm.e.ID] = storage.UnionCOW(ex.Mat[pm.e.ID], delta)
+			} else {
+				ex.Mat[pm.e.ID].InsertAll(delta)
+			}
 		default:
-			ex.Mat[pm.e.ID].SubtractAll(projectTo(pm.task.result(), pm.e.Schema))
+			delta := projectTo(pm.task.result(), pm.e.Schema)
+			if delta.Len() == 0 {
+				continue
+			}
+			if cow {
+				ex.Mat[pm.e.ID] = storage.MinusCOW(ex.Mat[pm.e.ID], delta)
+			} else {
+				ex.Mat[pm.e.ID].SubtractAll(delta)
+			}
 		}
+	}
+	if cow {
+		// Publish the post-step state: readers switch to it atomically, each
+		// seeing either the whole step or none of it.
+		mt.Snap.PublishState(ex.DB, ex.Mat)
 	}
 	// The step's temporarily materialized differentials die with sr here.
 }

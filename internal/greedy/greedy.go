@@ -68,7 +68,11 @@ func DefaultConfig() Config {
 
 // Decision records one materialization pick.
 type Decision struct {
-	Change  diff.Change
+	// Change is the picked materialization (full result, differential, or
+	// index).
+	Change diff.Change
+	// Benefit is the refresh-cost reduction of the pick at the time it was
+	// made, in cost-model seconds.
 	Benefit float64
 	// Bytes is the estimated storage footprint.
 	Bytes float64
@@ -83,8 +87,12 @@ type Decision struct {
 
 // Result is the outcome of a greedy run.
 type Result struct {
-	State  *diff.MatState
-	Eval   *diff.Eval
+	// State is the final materialization state (views plus every pick).
+	State *diff.MatState
+	// Eval is the evaluation context of the final state; plans read from it
+	// are the ones the refresh executor runs.
+	Eval *diff.Eval
+	// Chosen lists the picks in descending benefit order.
 	Chosen []Decision
 	// InitialCost and FinalCost are the total refresh costs before and after
 	// selection (the paper's cost(M, M) totals).
@@ -106,12 +114,22 @@ type item struct {
 	index   int
 }
 
+// maxHeap orders items by descending benefit (container/heap.Interface).
 type maxHeap []*item
 
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].benefit > h[j].benefit }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+// Len reports the number of items.
+func (h maxHeap) Len() int { return len(h) }
+
+// Less orders greater benefits first (max-heap).
+func (h maxHeap) Less(i, j int) bool { return h[i].benefit > h[j].benefit }
+
+// Swap exchanges two items, maintaining their heap indexes.
+func (h maxHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+
+// Push appends an item (called by container/heap).
 func (h *maxHeap) Push(x interface{}) { it := x.(*item); it.index = len(*h); *h = append(*h, it) }
+
+// Pop removes and returns the last item (called by container/heap).
 func (h *maxHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
@@ -127,16 +145,22 @@ func (h *maxHeap) Pop() interface{} {
 // permanent views in order to speed up a workload containing queries and
 // updates").
 type WeightedQuery struct {
-	Root   *dag.Equiv
+	// Root is the query's equivalence node in the shared DAG.
+	Root *dag.Equiv
+	// Weight is the number of executions per refresh cycle.
 	Weight float64
 }
 
 // Selector runs the greedy algorithm for one engine and view set.
 type Selector struct {
-	En      *diff.Engine
-	Views   []*dag.Equiv
+	// En is the differential costing engine (immutable during a run).
+	En *diff.Engine
+	// Views are the roots whose refresh cost is minimized.
+	Views []*dag.Equiv
+	// Queries are optional weighted read-only workload elements.
 	Queries []WeightedQuery
-	Cfg     Config
+	// Cfg tunes candidates, stopping, and concurrency.
+	Cfg Config
 }
 
 // New builds a selector.

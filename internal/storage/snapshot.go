@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/algebra"
+)
+
+// Epoch-based snapshot isolation. A Snapshot is an immutable image of the
+// whole stored state — every base relation plus every materialized result —
+// published atomically by the refresh writer at each update-step boundary.
+// Any number of concurrent readers resolve the current snapshot with one
+// atomic load and then read it without further synchronization; the writer
+// proceeds to the next step without ever blocking on them. Copy-on-write is
+// at relation granularity: a step that mutates k relations creates k new
+// relation versions — one full copy each — and shares every other relation
+// with the previous snapshot, so write amplification is bounded by the
+// total size of the touched relations, not the whole database.
+//
+// The happens-before argument: all writes building a new snapshot's
+// relations happen before the SnapshotStore's atomic pointer store
+// (release); a reader's atomic load (acquire) of that pointer therefore
+// observes fully-built relations. Since published relations are never
+// mutated again — the writer replaces them with fresh copies instead — a
+// reader holding a snapshot sees exactly the state at one step boundary,
+// never a torn mix of two steps.
+
+// Snapshot is one immutable published state. It must not be mutated after
+// publication; the accessors hand out relations that are safe for any
+// number of concurrent readers.
+type Snapshot struct {
+	epoch int64
+	rels  map[string]*Relation
+	mats  map[int]*Relation
+	db    *Database
+}
+
+// Epoch returns the snapshot's step number: 0 is the initial materialized
+// state, and each refresh update step publishes the next epoch.
+func (s *Snapshot) Epoch() int64 { return s.epoch }
+
+// Relation returns the named base relation at this snapshot, or nil.
+func (s *Snapshot) Relation(name string) *Relation { return s.rels[name] }
+
+// Mat returns the materialized result of an equivalence node at this
+// snapshot, or nil if the node is not materialized.
+func (s *Snapshot) Mat(id int) *Relation { return s.mats[id] }
+
+// MatCount reports how many materialized results the snapshot carries.
+func (s *Snapshot) MatCount() int { return len(s.mats) }
+
+// Database returns a read-only database view over the snapshot's base
+// relations, suitable for executing plans against. The view shares the
+// snapshot's relations and must not be mutated; its delta pairs are empty.
+func (s *Snapshot) Database() *Database { return s.db }
+
+// SnapshotStore publishes snapshots from a single writer to any number of
+// readers. The zero value is NOT ready to use; create with NewSnapshotStore.
+type SnapshotStore struct {
+	cur atomic.Pointer[Snapshot]
+
+	mu     sync.Mutex
+	retain bool
+	hist   []*Snapshot
+}
+
+// NewSnapshotStore returns an empty store (Current is nil until the first
+// PublishState).
+func NewSnapshotStore() *SnapshotStore { return &SnapshotStore{} }
+
+// Current returns the most recently published snapshot, or nil. Safe from
+// any goroutine.
+func (st *SnapshotStore) Current() *Snapshot { return st.cur.Load() }
+
+// RetainHistory makes the store keep every snapshot it publishes, so tests
+// can check results against the exact state of any step boundary. Retention
+// pins every relation version ever published; enable it only for bounded
+// runs.
+func (st *SnapshotStore) RetainHistory(on bool) {
+	st.mu.Lock()
+	st.retain = on
+	st.mu.Unlock()
+}
+
+// History returns the retained snapshots in publication order.
+func (st *SnapshotStore) History() []*Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]*Snapshot(nil), st.hist...)
+}
+
+// At returns the retained snapshot with the given epoch, or nil.
+func (st *SnapshotStore) At(epoch int64) *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, s := range st.hist {
+		if s.epoch == epoch {
+			return s
+		}
+	}
+	return nil
+}
+
+// PublishState captures the writer's live state — the database's base
+// relations and the materialization map — into a new snapshot and publishes
+// it. Only the single writer may call it; the maps are copied (so the
+// writer may keep swapping entries) but the relations are shared, which is
+// the copy-on-write contract: the writer must never mutate a relation it
+// has published, replacing it with a fresh version instead (see the COW
+// variants of the delta-application and merge operations).
+func (st *SnapshotStore) PublishState(db *Database, mats map[int]*Relation) *Snapshot {
+	s := &Snapshot{
+		rels: make(map[string]*Relation, len(db.relations)),
+		mats: make(map[int]*Relation, len(mats)),
+	}
+	for n, r := range db.relations {
+		s.rels[n] = r
+	}
+	for id, r := range mats {
+		s.mats[id] = r
+	}
+	s.db = &Database{relations: s.rels, deltas: make(map[string]*Delta)}
+	if prev := st.cur.Load(); prev != nil {
+		s.epoch = prev.epoch + 1
+	}
+	st.mu.Lock()
+	if st.retain {
+		st.hist = append(st.hist, s)
+	}
+	st.mu.Unlock()
+	st.cur.Store(s)
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write mutation variants. Each produces the same rows in the same
+// order as its in-place counterpart, but into a fresh relation, leaving
+// both inputs untouched — so a snapshot holding the old version stays
+// consistent while the writer installs the new one.
+
+// UnionCOW returns r ∪ add (multiset union, r's rows first) as a new
+// relation without mutating either input. Row order matches
+// Relation.InsertAll applied to a copy of r.
+func UnionCOW(r, add *Relation) *Relation {
+	if len(add.schema) != len(r.schema) {
+		panic("storage: UnionCOW schema arity mismatch")
+	}
+	out := NewRelation(r.schema)
+	out.rows = make([]algebra.Tuple, 0, r.Len()+add.Len())
+	out.rows = append(out.rows, r.rows...)
+	out.rows = append(out.rows, add.rows...)
+	return out
+}
+
+// MinusCOW returns r − sub (multiset monus) as a new relation without
+// mutating either input. Row order matches Relation.SubtractAll applied to
+// a copy of r.
+func MinusCOW(r, sub *Relation) *Relation {
+	out := NewRelation(r.schema)
+	if sub.Len() == 0 {
+		out.rows = append(out.rows, r.rows...)
+		return out
+	}
+	remove := sub.Counts()
+	out.rows = make([]algebra.Tuple, 0, r.Len())
+	for _, t := range r.rows {
+		if remove.Remove(t) {
+			continue
+		}
+		out.rows = append(out.rows, t)
+	}
+	return out
+}
+
+// ApplyInsertsCOW folds δ+ into a fresh copy of the base relation, installs
+// the copy in the database, clears the delta, and returns the new version.
+// The previous relation version is left untouched for snapshot readers.
+func (db *Database) ApplyInsertsCOW(name string) *Relation {
+	d := db.deltas[name]
+	nr := UnionCOW(db.relations[name], d.Plus)
+	db.relations[name] = nr
+	d.Plus = NewRelation(d.Plus.Schema())
+	return nr
+}
+
+// ApplyDeletesCOW folds δ− into a fresh copy of the base relation, installs
+// the copy in the database, clears the delta, and returns the new version.
+func (db *Database) ApplyDeletesCOW(name string) *Relation {
+	d := db.deltas[name]
+	nr := MinusCOW(db.relations[name], d.Minus)
+	db.relations[name] = nr
+	d.Minus = NewRelation(d.Minus.Schema())
+	return nr
+}

@@ -68,14 +68,18 @@ func (a Algo) String() string {
 // IndexKey identifies an index candidate or choice: an index over the stored
 // result of an equivalence node (base tables included) on one column.
 type IndexKey struct {
+	// EquivID is the equivalence node whose stored result is indexed.
 	EquivID int
-	Col     string // qualified column name
+	// Col is the qualified name of the indexed column.
+	Col string
 }
 
 // MatSet is the set M of materialized results plus chosen indexes. A nil
 // *MatSet behaves as the empty set.
 type MatSet struct {
-	Full    map[int]bool // equivalence node ID → full result materialized
+	// Full maps equivalence node ID → full result materialized.
+	Full map[int]bool
+	// Indexes holds the chosen indexes on stored results.
 	Indexes map[IndexKey]bool
 }
 
@@ -126,12 +130,18 @@ func (m *MatSet) HasIndex(cat *catalog.Catalog, e *dag.Equiv, col string) bool {
 
 // PlanNode is one node of an executable physical plan.
 type PlanNode struct {
-	E        *dag.Equiv
-	Access   Access
-	Op       *dag.Op // nil for Reuse/Probe
-	Algo     Algo
+	// E is the equivalence node this plan node produces.
+	E *dag.Equiv
+	// Access says how the result is obtained (Compute, Reuse, Probe).
+	Access Access
+	// Op is the computed operation; nil for Reuse/Probe.
+	Op *dag.Op
+	// Algo is the physical join algorithm of a Compute join.
+	Algo Algo
+	// Children are the input plans (empty for leaves).
 	Children []*PlanNode
-	Rows     float64
+	// Rows is the estimated result cardinality.
+	Rows float64
 	// CumCost is the total estimated cost of producing this node's result
 	// (local cost plus charged children).
 	CumCost float64
@@ -180,9 +190,12 @@ func (p *PlanNode) render(b *strings.Builder) {
 
 // Optimizer finds best plans over one DAG under one cost model.
 type Optimizer struct {
-	Dag   *dag.DAG
+	// Dag is the AND-OR DAG searched.
+	Dag *dag.DAG
+	// Model prices the physical operations.
 	Model *cost.Model
-	Est   *cost.Estimator
+	// Est supplies selectivity and cardinality estimates.
+	Est *cost.Estimator
 }
 
 // New builds an optimizer.

@@ -17,8 +17,15 @@
 //	greedy  — the paper's greedy selection with its optimizations
 //	exec    — an in-memory execution engine whose refresh driver schedules
 //	          each update step's differentials concurrently as a task graph
+//	storage — relations, deltas, hash indexes, epoch snapshots
+//	cache   — benefit-based dynamic query-result caching (paper §8)
 //	tpcd    — the TPC-D benchmark substrate of the paper's evaluation
-//	bench   — regenerates every figure/table of the paper's §7
+//	bench   — regenerates every figure/table of the paper's §7, plus the
+//	          parallel-refresh and concurrent-serving experiments
+//
+// Beyond optimization, a MaintenancePlan's Runtime executes refreshes and —
+// after EnableServing — answers SQL queries concurrently with them under
+// epoch-based snapshot isolation (Runtime.Query; see ARCHITECTURE.md).
 //
 // Quick start:
 //
@@ -57,6 +64,12 @@ type (
 	Runtime = core.Runtime
 	// RefreshMode is incremental vs recompute.
 	RefreshMode = core.RefreshMode
+	// ServeOptions configures Runtime.EnableServing.
+	ServeOptions = core.ServeOptions
+	// QueryResult is the answer to one served query.
+	QueryResult = core.QueryResult
+	// ServeStats counts serving activity.
+	ServeStats = core.ServeStats
 
 	// Catalog is database metadata.
 	Catalog = catalog.Catalog

@@ -2,12 +2,13 @@
 # checkdocs.sh — documentation gate, run by CI and usable locally.
 #
 #   1. gofmt: no Go file may need reformatting.
-#   2. Required docs exist: README.md, ARCHITECTURE.md.
+#   2. Required docs exist: README.md, ARCHITECTURE.md, docs/SQL.md.
 #   3. Intra-repo markdown links resolve: every [text](target) in a
-#      tracked *.md file whose target is not an URL or pure anchor must
-#      point at an existing file (anchors after '#' are stripped).
-#      SNIPPETS.md is exempt: it quotes exemplar material from external
-#      repositories verbatim, including their internal links.
+#      tracked *.md file (docs/ included) whose target is not an URL or
+#      pure anchor must point at an existing file (anchors after '#' are
+#      stripped). SNIPPETS.md is exempt: it quotes exemplar material from
+#      external repositories verbatim, including their internal links.
+#   4. Every examples/* program builds and runs to completion.
 set -u
 cd "$(dirname "$0")/.."
 fail=0
@@ -19,7 +20,7 @@ if [ -n "$unformatted" ]; then
     fail=1
 fi
 
-for doc in README.md ARCHITECTURE.md; do
+for doc in README.md ARCHITECTURE.md docs/SQL.md; do
     if [ ! -f "$doc" ]; then
         echo "missing required doc: $doc" >&2
         fail=1
@@ -41,6 +42,15 @@ done < <(git ls-files '*.md' | grep -v '^SNIPPETS\.md$' | while read -r f; do
         | sed -e 's/^\[[^]]*\](//' -e 's/)$//' \
         | while read -r t; do printf '%s:%s\n' "$f" "$t"; done
 done)
+
+for ex in examples/*/; do
+    ex="${ex%/}"
+    if ! out=$(go run "./$ex" 2>&1); then
+        echo "example $ex failed:" >&2
+        echo "$out" >&2
+        fail=1
+    fi
+done
 
 if [ "$fail" -ne 0 ]; then
     echo "checkdocs: FAILED" >&2

@@ -9,10 +9,16 @@
 // Usage:
 //
 //	mvserve -sf 0.002 -pct 4 -readers 8 -cycles 3 -cache 64 -check
+//	mvserve -adapt -sf 0.002 -readers 4 -cycles 3 -seed 11
 //
 // -check retains every published snapshot and verifies each sampled answer
 // against a full recomputation at its epoch (slower; it is how the serving
 // isolation guarantee is tested).
+//
+// -adapt switches to the drifting-workload experiment: the query mix shifts
+// mid-run, the runtime re-selects its materialized set from the observed
+// workload (core.Runtime.Adapt) and hot-swaps it at an epoch boundary, and
+// the run is reported against a static baseline tuned for the initial mix.
 package main
 
 import (
@@ -27,11 +33,33 @@ func main() {
 	sf := flag.Float64("sf", 0.002, "TPC-D scale factor (keep small: the engine is in-memory)")
 	pct := flag.Float64("pct", 4, "update percentage per refresh cycle")
 	readers := flag.Int("readers", 8, "concurrent query goroutines")
-	cycles := flag.Int("cycles", 3, "refresh cycles the writer runs")
+	cycles := flag.Int("cycles", 3, "refresh cycles the writer runs (per phase with -adapt)")
 	workers := flag.Int("workers", 0, "refresh worker pool size (0 = GOMAXPROCS)")
 	cacheMB := flag.Float64("cache", 64, "dynamic result cache budget in MB (negative disables)")
 	check := flag.Bool("check", false, "verify sampled answers against step-boundary recomputation")
+	adapt := flag.Bool("adapt", false, "drifting workload with online re-selection, vs a static baseline")
+	seed := flag.Int64("seed", 11, "data and drift seed (with -adapt)")
 	flag.Parse()
+
+	if *adapt {
+		fmt.Printf("generating TPC-D at SF %g and driving a drifting workload over %d readers…\n",
+			*sf, *readers)
+		ad, st := bench.AdaptiveVsStatic(bench.AdaptiveConfig{
+			ScaleFactor: *sf, UpdatePct: *pct,
+			Readers: *readers, CyclesPerPhase: *cycles, Workers: *workers,
+			CacheBudget: *cacheMB * (1 << 20),
+			Seed:        *seed, Check: *check,
+		})
+		fmt.Print(st.Format())
+		fmt.Print(ad.Format())
+		fmt.Print(ad.WorkloadReport)
+		fmt.Printf("adaptive/static overall throughput: %.2fx\n", ad.TotalQPS/st.TotalQPS)
+		if !ad.Verified || !ad.Consistent || !st.Verified || !st.Consistent || ad.Installs == 0 {
+			fmt.Fprintln(os.Stderr, "mvserve: FAILED (inconsistent results, diverged views, or no adaptation)")
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Printf("generating TPC-D at SF %g and serving %d readers against %d refresh cycles…\n",
 		*sf, *readers, *cycles)

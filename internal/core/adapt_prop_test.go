@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/diff"
+	"repro/internal/greedy"
+	"repro/internal/tpcd"
+	"repro/internal/viewdef"
+)
+
+// keepCost prices the mapped prior solution under a plan's engine and
+// workload — the CostOf baseline Adapt compares against before swapping.
+func keepCost(plan *MaintenancePlan, mapped []diff.Change) float64 {
+	roots, wq := plan.System.workloadInputs()
+	return greedy.CostOf(plan.Engine, roots, wq, mapped)
+}
+
+// TestAdaptiveReselectionNeverRaisesCost is the randomized monotonicity
+// guard behind Adapt's swap decision: across seeded workload drifts, the
+// seeded re-selection's estimated total workload cost never exceeds the
+// cost of keeping the previous materialized set under the same (drifted)
+// statistics. This is exactly the KeepCost/NewCost comparison the pipeline
+// makes before arming a swap, exercised over random drifts rather than one
+// benchmark trace.
+func TestAdaptiveReselectionNeverRaisesCost(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	cat := tpcd.NewCatalog(0.01, true)
+	views := tpcd.ViewSet5(cat, true)
+
+	// build assembles a system for one phase's weighted query mix, as Adapt
+	// does per round; prepare finalizes the DAG so seeds can map into it.
+	build := func(phase []tpcd.DriftQuery, pct float64) (*System, *diff.UpdateSpec) {
+		sys := NewSystem(cat, Options{})
+		for _, v := range views {
+			if _, err := sys.AddView(v.Name, v.Def); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, q := range phase {
+			def, err := viewdef.Parse(cat, q.SQL)
+			if err != nil {
+				t.Fatalf("drift query does not parse: %v", err)
+			}
+			if _, err := sys.AddQuery("q"+string(rune('a'+i)), def, q.Weight); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sys.prepare()
+		return sys, diff.UniformPercent(cat, tpcd.UpdatedRelations(), pct)
+	}
+
+	for _, seed := range seeds {
+		phases := tpcd.DriftPhases(seed, 2)
+		// Update-rate drift rides along with the query drift.
+		pct0 := 1 + float64(seed%5)
+		pct1 := 1 + float64((seed*3)%7)
+
+		sys0, u0 := build(phases[0], pct0)
+		prior := sys0.OptimizeWorkload(u0, greedy.DefaultConfig())
+
+		// Seeded re-selection over the drifted phase, on the drifted system.
+		sys1, u1 := build(phases[1], pct1)
+		mapped := mapChanges(priorChanges(prior), prior.System.Dag, sys1.Dag)
+		cfg := greedy.DefaultConfig()
+		cfg.Seed = mapped
+		seeded := sys1.OptimizeWorkload(u1, cfg)
+
+		keep := keepCost(seeded, mapped)
+		if seeded.TotalCost > keep+1e-9 {
+			t.Errorf("seed %d: re-selection raised workload cost over keeping the prior set: %g > %g",
+				seed, seeded.TotalCost, keep)
+		}
+		if seeded.Greedy.FinalCost > seeded.Greedy.InitialCost+1e-9 {
+			t.Errorf("seed %d: selection must never exceed the no-extras cost: %g > %g",
+				seed, seeded.Greedy.FinalCost, seeded.Greedy.InitialCost)
+		}
+		if keep <= 0 || seeded.TotalCost <= 0 {
+			t.Errorf("seed %d: degenerate costs (keep %g, new %g)", seed, keep, seeded.TotalCost)
+		}
+	}
+}

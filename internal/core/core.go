@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/catalog"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/greedy"
 	"repro/internal/storage"
 	"repro/internal/volcano"
+	"repro/internal/workload"
 )
 
 // View is a registered materialized view.
@@ -275,6 +277,23 @@ func (s *System) AddQuery(name string, def algebra.Node, weight float64) (q Quer
 	return q, nil
 }
 
+// workloadInputs projects the registered views and weighted queries into
+// the form greedy selection consumes. Every cost comparison over one system
+// must go through this single projection (OptimizeWorkload's selection, the
+// adaptation pipeline's keep-baseline), so the two sides of a hysteresis
+// decision can never use divergent formulations.
+func (s *System) workloadInputs() ([]*dag.Equiv, []greedy.WeightedQuery) {
+	roots := make([]*dag.Equiv, len(s.Views))
+	for i, v := range s.Views {
+		roots[i] = v.Root
+	}
+	queries := make([]greedy.WeightedQuery, len(s.Queries))
+	for i, q := range s.Queries {
+		queries[i] = greedy.WeightedQuery{Root: q.Root, Weight: q.Weight}
+	}
+	return roots, queries
+}
+
 // QueryPlan reports the evaluation cost of one workload query under a plan.
 type QueryPlan struct {
 	Query Query
@@ -289,14 +308,7 @@ type QueryPlan struct {
 func (s *System) OptimizeWorkload(u *diff.UpdateSpec, cfg greedy.Config) *MaintenancePlan {
 	s.prepare()
 	en := diff.NewEngine(s.Dag, s.Model, u)
-	roots := make([]*dag.Equiv, len(s.Views))
-	for i, v := range s.Views {
-		roots[i] = v.Root
-	}
-	queries := make([]greedy.WeightedQuery, len(s.Queries))
-	for i, q := range s.Queries {
-		queries[i] = greedy.WeightedQuery{Root: q.Root, Weight: q.Weight}
-	}
+	roots, queries := s.workloadInputs()
 	res := greedy.RunWorkload(en, roots, queries, cfg)
 	plan := &MaintenancePlan{
 		System: s, Engine: en, Eval: res.Eval, Greedy: res, TotalCost: res.FinalCost,
@@ -316,7 +328,14 @@ func (s *System) OptimizeWorkload(u *diff.UpdateSpec, cfg greedy.Config) *Mainte
 // Runtime executes a maintenance plan against real data. Refresh drives
 // incremental maintenance; EnableServing/Query (serve.go) additionally
 // serve read-only SQL queries concurrently with refreshes under epoch-based
-// snapshot isolation.
+// snapshot isolation; EnableAdapt/Adapt (adapt.go) re-run view selection
+// against the observed workload and hot-swap the materialized set at epoch
+// boundaries.
+//
+// Plan, Ex.Mat and Ex.Agg are replaced by adaptation swaps; they may be
+// read freely from the refresh writer's goroutine (swaps happen there), but
+// any other goroutine must not touch them while serving is live — the
+// serving and adaptation layers carry their own swap-stable references.
 type Runtime struct {
 	Plan *MaintenancePlan
 	Ex   *exec.Executor
@@ -324,6 +343,27 @@ type Runtime struct {
 
 	srvMu sync.Mutex
 	srv   *server
+
+	// tracker observes the served workload (set at EnableServing).
+	tracker *workload.Tracker
+	// retainRetired mirrors ServeOptions.RetainHistory: only then is the
+	// retirement log kept (it pins dropped relations, like the snapshot
+	// history it is checked against).
+	retainRetired bool
+
+	// Adaptation state (adapt.go). adaptMu guards Plan handoff between the
+	// background builder and the writer, plus the stats and the retirement
+	// log; pending carries a built-but-not-installed swap; building
+	// serializes background rounds; cycle counters are writer-only.
+	adaptMu         sync.Mutex
+	adaptOpts       *AdaptOptions
+	pending         atomic.Pointer[pendingSwap]
+	building        atomic.Bool
+	stats           AdaptStats
+	retired         []retirement
+	lastFingerprint map[string]float64
+	cycles          int
+	lastRoundCycle  int
 }
 
 // NewRuntime materializes every result the plan expects (views plus chosen
@@ -341,8 +381,32 @@ func (p *MaintenancePlan) NewRuntime(db *storage.Database) *Runtime {
 	return &Runtime{Plan: p, Ex: ex, Mt: exec.NewMaintainer(ex, p.Engine, p.Eval)}
 }
 
-// Refresh propagates all pending deltas through the stored results.
-func (r *Runtime) Refresh() { r.Mt.Refresh() }
+// Refresh propagates all pending deltas through the stored results. With
+// serving enabled it additionally feeds the workload tracker, installs any
+// adaptation swap armed since the previous cycle (the call boundary is an
+// epoch boundary, so the swap is atomic for readers), and — with EnableAdapt
+// — triggers the next background re-selection round.
+func (r *Runtime) Refresh() {
+	r.InstallPending()
+	r.observeCycle()
+	r.Mt.Refresh()
+	r.autoAdapt()
+}
+
+// observeCycle records the pending update-batch sizes into the workload
+// tracker and closes the tracker's cycle.
+func (r *Runtime) observeCycle() {
+	if r.tracker == nil {
+		return
+	}
+	counts := make(map[string]workload.Counts)
+	for _, rel := range r.Mt.En.U.Rels {
+		if d := r.Ex.DB.Delta(rel); d != nil {
+			counts[rel] = workload.Counts{Ins: d.Plus.Len(), Del: d.Minus.Len()}
+		}
+	}
+	r.tracker.ObserveRefresh(counts)
+}
 
 // SetWorkers bounds the worker pool of the refresh scheduler (0 =
 // runtime.GOMAXPROCS(0), 1 = sequential). Refresh results are identical at

@@ -28,11 +28,13 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/cache"
+	"repro/internal/catalog"
 	"repro/internal/dag"
 	"repro/internal/exec"
 	"repro/internal/storage"
 	"repro/internal/viewdef"
 	"repro/internal/volcano"
+	"repro/internal/workload"
 )
 
 // ServeOptions configures Runtime.EnableServing.
@@ -91,8 +93,14 @@ const maxRootMemo = 8192
 
 // server is the planning half of the serving layer. Everything behind mu is
 // shared mutable state touched only while planning; execution runs outside
-// the lock against immutable snapshots.
+// the lock against immutable snapshots. cat and tracker are immutable
+// pointers set at construction: planning must not read Runtime fields the
+// adaptation swap replaces (Plan in particular), so the server carries its
+// own references to everything swap-stable it needs.
 type server struct {
+	cat     *catalog.Catalog
+	tracker *workload.Tracker
+
 	mu  sync.Mutex
 	dag *dag.DAG
 	mgr *cache.Manager
@@ -138,11 +146,30 @@ func (r *Runtime) enableServingLocked(opts ServeOptions) {
 	st.PublishState(r.Ex.DB, r.Ex.Mat) // epoch 0: the initial materialized state
 	r.Mt.Snap = st
 
-	// Replica serving DAG: replay the system DAG's definitions (and its
-	// subsumption pass) so every node the plan materialized has a same-key
-	// counterpart here.
-	sys := r.Plan.System
-	sd := dag.New(sys.Cat)
+	sd, base, toSys := buildFrontEnd(r.Plan)
+	r.tracker = workload.NewTracker(0)
+	r.retainRetired = opts.RetainHistory
+	r.srv = &server{
+		cat:     r.Plan.System.Cat,
+		tracker: r.tracker,
+		dag:     sd,
+		mgr:     cache.NewOver(sd, r.Plan.System.Model, budget, base),
+		roots:   make(map[string]*dag.Equiv),
+		toSys:   toSys,
+		rows:    make(map[int]*storage.Relation),
+	}
+}
+
+// buildFrontEnd derives the serving front end of a maintenance plan: a
+// replica serving DAG replaying the system DAG's definitions (and its
+// subsumption pass) so every node the plan materialized has a same-key
+// counterpart, plus the base materialized set and the serving-ID →
+// system-ID correlation for snapshot lookups. Called at EnableServing and
+// again at every adaptation swap, so the serving planner always searches
+// over exactly the shapes the installed plan knows.
+func buildFrontEnd(plan *MaintenancePlan) (sd *dag.DAG, base *volcano.MatSet, toSys map[int]int) {
+	sys := plan.System
+	sd = dag.New(sys.Cat)
 	for _, v := range sys.Views {
 		sd.AddQuery(v.Name, v.Def)
 	}
@@ -153,27 +180,20 @@ func (r *Runtime) enableServingLocked(opts ServeOptions) {
 		sd.ApplySubsumption()
 	}
 
-	base := volcano.NewMatSet()
-	toSys := make(map[int]int)
-	for sysID := range r.Plan.Eval.MS.Fulls.Full {
+	base = volcano.NewMatSet()
+	toSys = make(map[int]int)
+	for sysID := range plan.Eval.MS.Fulls.Full {
 		if se := sd.Lookup(sys.Dag.Equivs[sysID].Key); se != nil {
 			base.Full[se.ID] = true
 			toSys[se.ID] = sysID
 		}
 	}
-	for ik := range r.Plan.Eval.MS.Fulls.Indexes {
+	for ik := range plan.Eval.MS.Fulls.Indexes {
 		if se := sd.Lookup(sys.Dag.Equivs[ik.EquivID].Key); se != nil {
 			base.Indexes[volcano.IndexKey{EquivID: se.ID, Col: ik.Col}] = true
 		}
 	}
-
-	r.srv = &server{
-		dag:   sd,
-		mgr:   cache.NewOver(sd, sys.Model, budget, base),
-		roots: make(map[string]*dag.Equiv),
-		toSys: toSys,
-		rows:  make(map[int]*storage.Relation),
-	}
+	return sd, base, toSys
 }
 
 // server returns the serving front end, enabling it with defaults on first
@@ -236,7 +256,7 @@ func (r *Runtime) Query(sql string) (*QueryResult, error) {
 	s.mu.Lock()
 	root := s.roots[sql]
 	if root == nil {
-		def, err := viewdef.Parse(r.Plan.System.Cat, sql)
+		def, err := viewdef.Parse(s.cat, sql)
 		if err != nil {
 			s.mu.Unlock()
 			return nil, err
@@ -275,6 +295,10 @@ func (r *Runtime) Query(sql string) (*QueryResult, error) {
 	}
 	epoch := snap.Epoch()
 	s.mu.Unlock()
+	// Feed the workload tracker outside the serving mutex (it has its own):
+	// shapes merge by canonical key, so the adaptation pipeline sees
+	// per-shape rates regardless of text variants.
+	s.tracker.ObserveQuery(root.Key, sql)
 
 	// Execution — the expensive part — runs outside the lock against the
 	// immutable snapshot. Pending cache refills execute first (their

@@ -66,6 +66,18 @@ func NewMaintainer(ex *Executor, en *diff.Engine, ev *diff.Eval) *Maintainer {
 	return &Maintainer{Ex: ex, En: en, Ev: ev}
 }
 
+// Rebind points the maintainer at a new engine and evaluation state — the
+// adaptation swap hook. The next Refresh derives its schedule (task graphs,
+// reuse edges, merge order) entirely from the new plans; the descendant
+// cache is dropped because it is keyed by the previous engine's DAG. The
+// executor's materialization map must already agree with the new Eval's
+// state, and Workers and Snap carry over unchanged. Call only from the
+// refresh writer's goroutine, between Refresh calls.
+func (mt *Maintainer) Rebind(en *diff.Engine, ev *diff.Eval) {
+	mt.En, mt.Ev = en, ev
+	mt.descCache = nil
+}
+
 // EvalNode computes a node's result from base relations only (no reuse of
 // materialized state), following the natural operation of each equivalence
 // node. It is the reference evaluator used for recomputation fallbacks and

@@ -1,0 +1,105 @@
+package greedy
+
+import (
+	"testing"
+
+	"repro/internal/diff"
+)
+
+// seedChanges extracts the chosen changes of a result, in pick order.
+func seedChanges(res *Result) []diff.Change {
+	out := make([]diff.Change, len(res.Chosen))
+	for i, d := range res.Chosen {
+		out[i] = d.Change
+	}
+	return out
+}
+
+func TestSeededRunKeepsStillUsefulPicks(t *testing.T) {
+	en, roots := setup(t, 5, true, loc, lop)
+	base := Run(en, roots, DefaultConfig())
+	if len(base.Chosen) == 0 {
+		t.Fatal("baseline chose nothing; seeding test needs picks")
+	}
+
+	// Re-running on the same engine seeded with the full prior solution must
+	// not do worse than the cold run, and must not duplicate picks.
+	cfg := DefaultConfig()
+	cfg.Seed = seedChanges(base)
+	seeded := Run(en, roots, cfg)
+	if seeded.FinalCost > base.FinalCost+1e-9 {
+		t.Errorf("seeded run worse than cold: %g > %g", seeded.FinalCost, base.FinalCost)
+	}
+	counts := map[diff.Change]int{}
+	for _, d := range seeded.Chosen {
+		counts[d.Change]++
+		if counts[d.Change] > 1 {
+			t.Fatalf("change picked twice in seeded run: %+v", d.Change)
+		}
+	}
+}
+
+func TestSeededRunNeverExceedsKeepingSeed(t *testing.T) {
+	// The monotonicity guard behind adaptive re-selection: the seeded run's
+	// final cost is bounded by the cost of keeping the seed set unchanged.
+	for _, pct := range []float64{1, 10, 50} {
+		en, roots := setup(t, pct, true, loc, lop)
+		prior := Run(en, roots, DefaultConfig())
+		keep := CostOf(en, roots, nil, seedChanges(prior))
+
+		// A drifted engine: same DAG, different update spec.
+		en2, roots2 := setup(t, pct*3+1, true, loc, lop)
+		keep2 := CostOf(en2, roots2, nil, seedChanges(prior))
+		cfg := DefaultConfig()
+		cfg.Seed = seedChanges(prior)
+		res := Run(en2, roots2, cfg)
+		if res.FinalCost > keep2+1e-9 {
+			t.Errorf("pct=%g: re-selection raised cost over keeping the prior set: %g > %g",
+				pct, res.FinalCost, keep2)
+		}
+		if keep <= 0 || keep2 <= 0 {
+			t.Errorf("pct=%g: CostOf returned non-positive cost (%g, %g)", pct, keep, keep2)
+		}
+	}
+}
+
+func TestCostOfMatchesRunTotals(t *testing.T) {
+	en, roots := setup(t, 5, true, loc, lop)
+	res := Run(en, roots, DefaultConfig())
+	// CostOf over the chosen set must reproduce the run's final cost, and
+	// over the empty set its initial cost.
+	if got := CostOf(en, roots, nil, seedChanges(res)); !closeTo(got, res.FinalCost) {
+		t.Errorf("CostOf(chosen) = %g, want FinalCost %g", got, res.FinalCost)
+	}
+	if got := CostOf(en, roots, nil, nil); !closeTo(got, res.InitialCost) {
+		t.Errorf("CostOf(∅) = %g, want InitialCost %g", got, res.InitialCost)
+	}
+	// Duplicated changes must not change the answer.
+	dup := append(seedChanges(res), seedChanges(res)...)
+	if got := CostOf(en, roots, nil, dup); !closeTo(got, res.FinalCost) {
+		t.Errorf("CostOf with duplicates = %g, want %g", got, res.FinalCost)
+	}
+}
+
+func TestSeedRespectsMaxChoicesAndBudget(t *testing.T) {
+	en, roots := setup(t, 5, true, loc, lop)
+	base := Run(en, roots, DefaultConfig())
+	if len(base.Chosen) < 2 {
+		t.Skip("needs at least two picks")
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = seedChanges(base)
+	cfg.MaxChoices = 1
+	res := Run(en, roots, cfg)
+	if len(res.Chosen) != 1 {
+		t.Errorf("MaxChoices=1 with seeds: %d picks", len(res.Chosen))
+	}
+}
+
+func closeTo(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(1+b)
+}

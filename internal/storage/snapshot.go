@@ -50,6 +50,19 @@ func (s *Snapshot) Mat(id int) *Relation { return s.mats[id] }
 // MatCount reports how many materialized results the snapshot carries.
 func (s *Snapshot) MatCount() int { return len(s.mats) }
 
+// Mats returns a copy of the materialized-result map (id → relation). The
+// relations are the snapshot's immutable versions and must not be mutated;
+// tests use this to assert which stored results a given epoch still carries
+// (e.g. that results retired by an adaptation swap vanish from every later
+// snapshot).
+func (s *Snapshot) Mats() map[int]*Relation {
+	out := make(map[int]*Relation, len(s.mats))
+	for id, r := range s.mats {
+		out[id] = r
+	}
+	return out
+}
+
 // Database returns a read-only database view over the snapshot's base
 // relations, suitable for executing plans against. The view shares the
 // snapshot's relations and must not be mutated; its delta pairs are empty.

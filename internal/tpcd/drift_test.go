@@ -1,0 +1,100 @@
+package tpcd
+
+import (
+	"strings"
+
+	"testing"
+
+	"repro/internal/viewdef"
+)
+
+func TestDriftPhasesDeterministicAndParseable(t *testing.T) {
+	cat := NewCatalog(0.01, true)
+	a := DriftPhases(7, 3)
+	b := DriftPhases(7, 3)
+	if len(a) != 3 {
+		t.Fatalf("want 3 phases, got %d", len(a))
+	}
+	for p := range a {
+		if len(a[p]) != len(b[p]) {
+			t.Fatalf("phase %d not deterministic", p)
+		}
+		for i := range a[p] {
+			if a[p][i] != b[p][i] {
+				t.Fatalf("phase %d query %d differs across identical seeds", p, i)
+			}
+			if _, err := viewdef.Parse(cat, a[p][i].SQL); err != nil {
+				t.Errorf("phase %d query %d does not parse: %v\n%s", p, i, err, a[p][i].SQL)
+			}
+			if a[p][i].Weight <= 0 {
+				t.Errorf("phase %d query %d has non-positive weight", p, i)
+			}
+		}
+	}
+}
+
+func TestDriftPhasesActuallyDrift(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		phases := DriftPhases(seed, 2)
+		hot := func(p []DriftQuery) map[string]bool {
+			out := map[string]bool{}
+			for _, q := range p {
+				if q.Weight >= 20 {
+					out[q.SQL] = true
+				}
+			}
+			return out
+		}
+		h0, h1 := hot(phases[0]), hot(phases[1])
+		if len(h0) == 0 || len(h1) == 0 {
+			t.Fatalf("seed %d: each phase needs hot queries", seed)
+		}
+		for sql := range h1 {
+			if h0[sql] {
+				t.Errorf("seed %d: hot sets of adjacent phases overlap", seed)
+			}
+		}
+	}
+}
+
+func TestDriftServeMixShape(t *testing.T) {
+	cat := NewCatalog(0.01, true)
+	for seed := int64(1); seed <= 4; seed++ {
+		phases := DriftServeMix(seed)
+		if len(phases) != 2 {
+			t.Fatalf("seed %d: want 2 phases, got %d", seed, len(phases))
+		}
+		hot := func(p []DriftQuery) map[string]bool {
+			out := map[string]bool{}
+			for _, q := range p {
+				if q.Weight >= 20 {
+					out[q.SQL] = true
+				}
+			}
+			return out
+		}
+		h0, h1 := hot(phases[0]), hot(phases[1])
+		if len(h0) != 3 || len(h1) != 3 {
+			t.Fatalf("seed %d: want 3 hot shapes per phase, got %d/%d", seed, len(h0), len(h1))
+		}
+		for sql := range h1 {
+			if h0[sql] {
+				t.Errorf("seed %d: serve-mix hot sets must be disjoint", seed)
+			}
+			// The drifted-to hot set is the partsupp-heavy half of the pool.
+			if !strings.Contains(sql, "partsupp") {
+				t.Errorf("seed %d: phase-1 hot shape is not partsupp-heavy:\n%s", seed, sql)
+			}
+		}
+		for _, p := range phases {
+			for _, q := range p {
+				if _, err := viewdef.Parse(cat, q.SQL); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+				if q.Weight <= 0 {
+					t.Errorf("seed %d: non-positive weight", seed)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package viewdef
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/dag"
+	"repro/internal/tpcd"
+)
+
+// fuzzCat is built once: catalog construction dominates per-exec cost.
+var fuzzCatOnce = sync.OnceValue(func() *catalog.Catalog {
+	return tpcd.NewCatalog(0.001, true)
+})
+
+// insertNoPanic runs dag.InsertExpr, converting panics to a flag: the DAG
+// layer is allowed to reject parsed-but-invalid trees (self-joins and the
+// like) by panicking, but it must do so deterministically.
+func insertNoPanic(d *dag.DAG, def algebra.Node) (e *dag.Equiv, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e, panicked = nil, true
+		}
+	}()
+	return d.InsertExpr(def), false
+}
+
+// FuzzParse feeds arbitrary text through the SQL-subset parser. Properties:
+// Parse never panics (it promises errors for all user input); parsing is
+// deterministic; an accepted definition inserts into a DAG deterministically
+// — two insertions of the same text unify onto one node with a non-empty
+// schema — and a rejected insertion rejects on both attempts.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM nation",
+		"SELECT * FROM lineitem, orders WHERE lineitem.l_orderkey = orders.o_orderkey",
+		"SELECT customer.c_nationkey, COUNT(*) FROM customer GROUP BY customer.c_nationkey",
+		"SELECT orders.o_orderdate, SUM(lineitem.l_extendedprice) AS rev FROM lineitem, orders " +
+			"WHERE lineitem.l_orderkey = orders.o_orderkey AND orders.o_orderdate < 255 " +
+			"GROUP BY orders.o_orderdate",
+		"SELECT supplier.s_acctbal FROM supplier WHERE supplier.s_acctbal >= -999.5",
+		"SELECT * FROM part WHERE part.p_name = 'widget'",
+		"SELEC broken",
+		"SELECT * FROM no_such_table",
+		"SELECT nation.bogus FROM nation",
+		"SELECT * FROM orders, orders WHERE orders.o_orderkey = orders.o_orderkey",
+		"SELECT COUNT(* FROM nation",
+		"SELECT MIN(nation.n_name) FROM nation GROUP BY",
+		"'unterminated",
+		"SELECT * FROM nation WHERE nation.n_regionkey <> 1e309",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		cat := fuzzCatOnce()
+		def, err := Parse(cat, sql) // must not panic, whatever the input
+		def2, err2 := Parse(cat, sql)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("non-deterministic accept/reject for %q: %v vs %v", sql, err, err2)
+		}
+		if err != nil {
+			return
+		}
+		if def == nil || def2 == nil {
+			t.Fatalf("accepted parse returned nil tree for %q", sql)
+		}
+		d := dag.New(cat)
+		e1, p1 := insertNoPanic(d, def)
+		e2, p2 := insertNoPanic(d, def2)
+		if p1 != p2 {
+			t.Fatalf("non-deterministic DAG insertion for %q", sql)
+		}
+		if p1 {
+			return // rejected at the DAG layer (e.g. self-join): allowed
+		}
+		if e1 != e2 {
+			t.Fatalf("re-inserting %q did not unify: e%d vs e%d", sql, e1.ID, e2.ID)
+		}
+		if len(e1.Schema) == 0 {
+			t.Fatalf("accepted query %q produced an empty schema", sql)
+		}
+		if e1.Key == "" {
+			t.Fatalf("accepted query %q produced an empty canonical key", sql)
+		}
+	})
+}

@@ -1,0 +1,282 @@
+// Package workload tracks the observed workload of a running system: how
+// often each distinct query shape is served per refresh cycle, and how many
+// tuples each base relation receives per cycle. The adaptation pipeline
+// (core.Runtime.Adapt) periodically reads these statistics to re-run the
+// paper's greedy view selection against the workload the system actually
+// sees, rather than the one it was configured with — turning the stored-vs-
+// derived boundary into a runtime decision (cf. Litwin's stored and
+// inherited relations).
+//
+// Rates are exponentially-weighted moving averages over refresh cycles, so
+// the tracker follows workload drift at a tunable pace: with smoothing α,
+// a query that stops arriving decays to a fraction (1-α)^k of its weight
+// after k cycles, and a newly hot query reaches the same fraction of its
+// steady-state weight in the same number of cycles.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// maxTracked bounds the number of distinct query shapes kept. When full, a
+// new shape displaces the coldest tracked one (lowest weight plus pending
+// count) so a drifting workload can always enter; a stream of one-off shapes
+// then churns the coldest slot only.
+const maxTracked = 1024
+
+// queryStat is the tracked load of one query shape.
+type queryStat struct {
+	key string
+	// sql is a representative query text for the shape (the first observed),
+	// used to re-register the query during re-selection.
+	sql string
+	// pending counts observations since the last completed cycle.
+	pending int64
+	// weight is the EWMA of per-cycle observation counts.
+	weight float64
+	// total counts all observations ever (reporting only).
+	total int64
+}
+
+// updateStat is the tracked update rate of one base relation.
+type updateStat struct {
+	ins, del float64
+}
+
+// Tracker accumulates workload observations. All methods are safe for
+// concurrent use: queries are observed from any number of serving
+// goroutines, refresh cycles from the single writer, and snapshots of the
+// statistics from the adaptation goroutine.
+type Tracker struct {
+	mu      sync.Mutex
+	alpha   float64
+	cycles  int
+	queries map[string]*queryStat
+	updates map[string]*updateStat
+}
+
+// NewTracker creates a tracker with the given EWMA smoothing factor
+// α ∈ (0, 1]: the newest cycle's observation enters with weight α. Values
+// outside the range select the default 0.5.
+func NewTracker(alpha float64) *Tracker {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	return &Tracker{
+		alpha:   alpha,
+		queries: make(map[string]*queryStat),
+		updates: make(map[string]*updateStat),
+	}
+}
+
+// ObserveQuery records one served query, identified by its canonical DAG key
+// (so distinct texts of the same shape merge) with a representative SQL text.
+func (t *Tracker) ObserveQuery(key, sql string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	q := t.queries[key]
+	if q == nil {
+		if len(t.queries) >= maxTracked {
+			t.evictColdest()
+		}
+		q = &queryStat{key: key, sql: sql}
+		t.queries[key] = q
+	}
+	q.pending++
+	q.total++
+}
+
+// evictColdest drops the tracked shape with the least load. Must hold mu.
+func (t *Tracker) evictColdest() {
+	var coldKey string
+	coldLoad := 0.0
+	first := true
+	for k, q := range t.queries {
+		load := q.weight + float64(q.pending)
+		if first || load < coldLoad || (load == coldLoad && k < coldKey) {
+			coldKey, coldLoad, first = k, load, false
+		}
+	}
+	delete(t.queries, coldKey)
+}
+
+// Counts is the update volume one relation received in one refresh cycle.
+type Counts struct {
+	Ins, Del int
+}
+
+// ObserveRefresh closes one cycle: it folds the pending query counts into
+// the per-cycle EWMA weights and records each relation's update volume. The
+// refresh driver calls it once per cycle with the pending delta sizes.
+func (t *Tracker) ObserveRefresh(counts map[string]Counts) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cycles++
+	for _, q := range t.queries {
+		q.weight = (1-t.alpha)*q.weight + t.alpha*float64(q.pending)
+		q.pending = 0
+	}
+	for rel, c := range counts {
+		u := t.updates[rel]
+		if u == nil {
+			u = &updateStat{}
+			t.updates[rel] = u
+		}
+		u.ins = (1-t.alpha)*u.ins + t.alpha*float64(c.Ins)
+		u.del = (1-t.alpha)*u.del + t.alpha*float64(c.Del)
+	}
+}
+
+// Cycles returns the number of completed refresh cycles observed.
+func (t *Tracker) Cycles() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cycles
+}
+
+// QueryLoad is a snapshot of one tracked query shape.
+type QueryLoad struct {
+	// Key is the canonical DAG key of the shape.
+	Key string
+	// SQL is a representative query text.
+	SQL string
+	// Weight is the EWMA of executions per refresh cycle. Before the first
+	// completed cycle it is the raw observation count.
+	Weight float64
+	// Total counts all observations.
+	Total int64
+}
+
+// TopQueries returns up to k tracked shapes with weight ≥ minWeight, hottest
+// first; ties break on key so the result is deterministic. k ≤ 0 returns all
+// qualifying shapes.
+func (t *Tracker) TopQueries(k int, minWeight float64) []QueryLoad {
+	t.mu.Lock()
+	out := make([]QueryLoad, 0, len(t.queries))
+	for _, q := range t.queries {
+		w := q.weight
+		if t.cycles == 0 {
+			w = float64(q.pending)
+		}
+		if w >= minWeight && w > 0 {
+			out = append(out, QueryLoad{Key: q.key, SQL: q.sql, Weight: w, Total: q.total})
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// UpdateRate is the EWMA tuples-per-cycle a relation receives.
+type UpdateRate struct {
+	Ins, Del float64
+}
+
+// UpdateRates returns the observed per-cycle update volume of every relation
+// that has received updates.
+func (t *Tracker) UpdateRates() map[string]UpdateRate {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]UpdateRate, len(t.updates))
+	for rel, u := range t.updates {
+		out[rel] = UpdateRate{Ins: u.ins, Del: u.del}
+	}
+	return out
+}
+
+// Fingerprint returns the tracked rates as one flat vector: per-cycle query
+// weights keyed "q:<shape key>" and update rates keyed "u+:<rel>" /
+// "u-:<rel>". The adaptation pipeline diffs consecutive fingerprints to
+// decide whether the workload has drifted enough to justify re-selection.
+func (t *Tracker) Fingerprint() map[string]float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]float64, len(t.queries)+2*len(t.updates))
+	for key, q := range t.queries {
+		w := q.weight
+		if t.cycles == 0 {
+			w = float64(q.pending)
+		}
+		if w > 0 {
+			out["q:"+key] = w
+		}
+	}
+	for rel, u := range t.updates {
+		out["u+:"+rel] = u.ins
+		out["u-:"+rel] = u.del
+	}
+	return out
+}
+
+// Drift measures how far apart two fingerprints are: the L1 distance of the
+// rate vectors normalized by the larger total mass, in [0, 1]. 0 means
+// identical rates; 1 means fully disjoint workloads.
+func Drift(a, b map[string]float64) float64 {
+	var dist, massA, massB float64
+	for k, av := range a {
+		massA += av
+		bv := b[k]
+		if av > bv {
+			dist += av - bv
+		} else {
+			dist += bv - av
+		}
+	}
+	for k, bv := range b {
+		massB += bv
+		if _, ok := a[k]; !ok {
+			dist += bv
+		}
+	}
+	mass := massA
+	if massB > mass {
+		mass = massB
+	}
+	if mass == 0 {
+		return 0
+	}
+	return dist / mass
+}
+
+// Report renders the tracked workload, hottest queries first.
+func (t *Tracker) Report() string {
+	top := t.TopQueries(0, 0)
+	t.mu.Lock()
+	cycles := t.cycles
+	rels := make([]string, 0, len(t.updates))
+	for rel := range t.updates {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	rates := make(map[string]updateStat, len(t.updates))
+	for rel, u := range t.updates {
+		rates[rel] = *u
+	}
+	t.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload: %d cycles, %d tracked query shapes\n", cycles, len(top))
+	for _, q := range top {
+		sql := strings.Join(strings.Fields(q.SQL), " ")
+		if len(sql) > 72 {
+			sql = sql[:69] + "..."
+		}
+		fmt.Fprintf(&b, "  %8.1f q/cycle (%6d total)  %s\n", q.Weight, q.Total, sql)
+	}
+	for _, rel := range rels {
+		u := rates[rel]
+		fmt.Fprintf(&b, "  updates %-10s %8.1f ins/cycle %8.1f del/cycle\n", rel, u.ins, u.del)
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWeightsFollowDrift(t *testing.T) {
+	tr := NewTracker(0.5)
+	// Phase 1: "a" hot, "b" cold.
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 40; i++ {
+			tr.ObserveQuery("a", "SELECT a")
+		}
+		tr.ObserveQuery("b", "SELECT b")
+		tr.ObserveRefresh(nil)
+	}
+	top := tr.TopQueries(1, 0)
+	if len(top) != 1 || top[0].Key != "a" {
+		t.Fatalf("hot query should lead: %+v", top)
+	}
+	if top[0].Weight < 30 || top[0].Weight > 40 {
+		t.Errorf("EWMA weight of steady 40/cycle should approach 40, got %g", top[0].Weight)
+	}
+	// Phase 2: drift — "b" becomes hot, "a" stops.
+	for c := 0; c < 6; c++ {
+		for i := 0; i < 40; i++ {
+			tr.ObserveQuery("b", "SELECT b")
+		}
+		tr.ObserveRefresh(nil)
+	}
+	top = tr.TopQueries(2, 0)
+	if top[0].Key != "b" {
+		t.Fatalf("after drift the new hot query should lead: %+v", top)
+	}
+	if len(top) > 1 && top[1].Weight > 2 {
+		t.Errorf("stopped query should have decayed below 2/cycle, got %g", top[1].Weight)
+	}
+}
+
+func TestTopQueriesBeforeFirstCycle(t *testing.T) {
+	tr := NewTracker(0.5)
+	tr.ObserveQuery("q", "SELECT q")
+	tr.ObserveQuery("q", "SELECT q")
+	top := tr.TopQueries(0, 1)
+	if len(top) != 1 || top[0].Weight != 2 {
+		t.Fatalf("pre-cycle weight should be the raw count: %+v", top)
+	}
+}
+
+func TestMinWeightAndLimit(t *testing.T) {
+	tr := NewTracker(1)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("q%d", i)
+		for j := 0; j <= i; j++ {
+			tr.ObserveQuery(key, key)
+		}
+	}
+	tr.ObserveRefresh(nil)
+	top := tr.TopQueries(2, 3)
+	if len(top) != 2 || top[0].Key != "q4" || top[1].Key != "q3" {
+		t.Fatalf("want the two hottest shapes above the floor, got %+v", top)
+	}
+}
+
+func TestUpdateRatesEWMA(t *testing.T) {
+	tr := NewTracker(0.5)
+	tr.ObserveRefresh(map[string]Counts{"orders": {Ins: 100, Del: 50}})
+	tr.ObserveRefresh(map[string]Counts{"orders": {Ins: 100, Del: 50}})
+	r := tr.UpdateRates()["orders"]
+	if r.Ins != 75 || r.Del != 37.5 {
+		t.Errorf("EWMA after two identical cycles from zero: got %+v, want {75 37.5}", r)
+	}
+	if tr.Cycles() != 2 {
+		t.Errorf("cycles = %d, want 2", tr.Cycles())
+	}
+}
+
+func TestEvictionKeepsHotShapes(t *testing.T) {
+	tr := NewTracker(1)
+	for i := 0; i < maxTracked; i++ {
+		key := fmt.Sprintf("q%04d", i)
+		tr.ObserveQuery(key, key)
+		tr.ObserveQuery(key, key) // every tracked shape has load 2
+	}
+	tr.ObserveQuery("newcomer", "newcomer") // displaces one cold shape
+	top := tr.TopQueries(0, 0)
+	if len(top) != maxTracked {
+		t.Fatalf("tracker should stay bounded at %d, got %d", maxTracked, len(top))
+	}
+	found := false
+	for _, q := range top {
+		if q.Key == "newcomer" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("a new shape must be able to enter a full tracker")
+	}
+}
+
+func TestConcurrentObservation(t *testing.T) {
+	tr := NewTracker(0.5)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.ObserveQuery(fmt.Sprintf("q%d", i%7), "SELECT x")
+			}
+		}(w)
+	}
+	for c := 0; c < 10; c++ {
+		tr.ObserveRefresh(map[string]Counts{"lineitem": {Ins: c, Del: c / 2}})
+	}
+	wg.Wait()
+	tr.ObserveRefresh(nil)
+	total := int64(0)
+	for _, q := range tr.TopQueries(0, 0) {
+		total += q.Total
+	}
+	if total != 4*500 {
+		t.Errorf("observations lost under concurrency: %d of %d", total, 4*500)
+	}
+}
+
+func TestReport(t *testing.T) {
+	tr := NewTracker(0.5)
+	tr.ObserveQuery("k", "SELECT   *   FROM nation")
+	tr.ObserveRefresh(map[string]Counts{"nation": {Ins: 3, Del: 1}})
+	rep := tr.Report()
+	for _, want := range []string{"1 cycles", "SELECT * FROM nation", "nation"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestFingerprintDrift(t *testing.T) {
+	tr := NewTracker(1)
+	for i := 0; i < 10; i++ {
+		tr.ObserveQuery("a", "SELECT a")
+	}
+	tr.ObserveRefresh(map[string]Counts{"orders": {Ins: 100, Del: 50}})
+	fp1 := tr.Fingerprint()
+	if fp1["q:a"] != 10 || fp1["u+:orders"] != 100 || fp1["u-:orders"] != 50 {
+		t.Fatalf("unexpected fingerprint: %v", fp1)
+	}
+	if d := Drift(fp1, fp1); d != 0 {
+		t.Errorf("identical fingerprints must have zero drift, got %g", d)
+	}
+	// Steady workload: another identical cycle, drift stays zero (alpha=1).
+	for i := 0; i < 10; i++ {
+		tr.ObserveQuery("a", "SELECT a")
+	}
+	tr.ObserveRefresh(map[string]Counts{"orders": {Ins: 100, Del: 50}})
+	if d := Drift(tr.Fingerprint(), fp1); d != 0 {
+		t.Errorf("steady workload must not drift, got %g", d)
+	}
+	// Full hot-set swap: drift approaches 1 relative to the old fingerprint.
+	for i := 0; i < 10; i++ {
+		tr.ObserveQuery("b", "SELECT b")
+	}
+	tr.ObserveRefresh(map[string]Counts{"orders": {Ins: 100, Del: 50}})
+	if d := Drift(tr.Fingerprint(), fp1); d < 0.1 {
+		t.Errorf("hot-set swap must register as drift, got %g", d)
+	}
+	if d := Drift(nil, nil); d != 0 {
+		t.Errorf("empty fingerprints drift = %g, want 0", d)
+	}
+	if d := Drift(map[string]float64{"q:x": 5}, nil); d != 1 {
+		t.Errorf("all-new mass must be full drift, got %g", d)
+	}
+}

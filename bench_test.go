@@ -161,6 +161,51 @@ func BenchmarkParallelRefresh(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionedRefresh measures partition-parallel operator
+// execution on the workload the task scheduler cannot help with — a single
+// four-relation join view, one differential per update step — at
+// partitions ∈ {1, 4, GOMAXPROCS}. Every run is verified exact and checked
+// byte-identical across partition counts; speedup over the partitions=1 row
+// is the operators' contribution (rows coincide on a single-core machine).
+func BenchmarkPartitionedRefresh(b *testing.B) {
+	var r bench.PartitionedResult
+	for i := 0; i < b.N; i++ {
+		r = bench.PartitionedRefresh(0.005, 5, 2, bench.DefaultPartitions())
+	}
+	if !r.Verified {
+		b.Fatalf("maintained view diverged from recomputation")
+	}
+	if !r.Identical {
+		b.Fatalf("maintained rows not byte-identical across partition counts")
+	}
+	for i, p := range r.Partitions {
+		b.ReportMetric(float64(r.Refresh[i].Milliseconds()), fmt.Sprintf("refresh-ms/p%d", p))
+	}
+}
+
+// BenchmarkPartitionedServe is BenchmarkConcurrentServe with partition-
+// parallel operators on both the refresh writer and every served query
+// (partitions = 4): the same workload, so the two benchmarks' throughput
+// numbers are directly comparable.
+func BenchmarkPartitionedServe(b *testing.B) {
+	var r bench.ServeResult
+	for i := 0; i < b.N; i++ {
+		r = bench.ConcurrentServe(bench.ServeConfig{
+			ScaleFactor: 0.002, UpdatePct: 4,
+			Readers: 4, Cycles: 2, Partitions: 4,
+		})
+		if !r.Verified {
+			b.Fatalf("maintained views diverged from recomputation")
+		}
+	}
+	qps := 0.0
+	for _, q := range r.PerReaderQPS {
+		qps += q
+	}
+	b.ReportMetric(qps, "queries/s")
+	b.ReportMetric(r.RefreshTotal.Seconds()*1000/float64(r.Cfg.Cycles), "refresh-ms/cycle")
+}
+
 // BenchmarkConcurrentServe measures the query-serving layer under write
 // pressure: 4 reader goroutines issue SQL queries against epoch snapshots
 // while the writer runs full refresh cycles on the ten-view workload

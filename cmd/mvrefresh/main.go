@@ -7,10 +7,13 @@
 //
 // Usage:
 //
-//	mvrefresh -sf 0.002 -pct 5 -nights 3 -workload set5agg -workers 4
+//	mvrefresh -sf 0.002 -pct 5 -nights 3 -workload set5agg -workers 4 -partitions 4
 //
 // -workers bounds the refresh scheduler's worker pool (0 = GOMAXPROCS,
-// 1 = sequential); maintained results are identical at any setting.
+// 1 = sequential); -partitions turns on partition-parallel operators inside
+// each differential, merge and recomputation (hash-partitioned joins,
+// morsel scans; <=1 = sequential operators). Maintained results are
+// identical at any setting of either flag.
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 	workload := flag.String("workload", "agg4", "workload: join4 agg4 set5 set5agg")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	workers := flag.Int("workers", 0, "refresh worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	partitions := flag.Int("partitions", 1, "hash partitions per operator (<=1 = sequential operators)")
 	flag.Parse()
 
 	cat := tpcd.NewCatalog(*sf, true)
@@ -67,8 +71,9 @@ func main() {
 
 	rt := plan.NewRuntime(db)
 	rt.SetWorkers(*workers)
-	fmt.Printf("materialized %d results (refresh workers: %d, 0 = GOMAXPROCS)\n\n",
-		len(plan.Eval.MS.Fulls.Full), *workers)
+	rt.SetPartitions(*partitions)
+	fmt.Printf("materialized %d results (refresh workers: %d, 0 = GOMAXPROCS; operator partitions: %d)\n\n",
+		len(plan.Eval.MS.Fulls.Full), *workers, *partitions)
 
 	for night := 1; night <= *nights; night++ {
 		tpcd.LogUniformUpdates(cat, db, updated, *pct, *seed+int64(night))

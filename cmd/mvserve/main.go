@@ -8,8 +8,12 @@
 //
 // Usage:
 //
-//	mvserve -sf 0.002 -pct 4 -readers 8 -cycles 3 -cache 64 -check
+//	mvserve -sf 0.002 -pct 4 -readers 8 -cycles 3 -cache 64 -check -partitions 4
 //	mvserve -adapt -sf 0.002 -readers 4 -cycles 3 -seed 11
+//
+// -partitions turns on partition-parallel operators for both the refresh
+// writer and every served query (<=1 = sequential operators); answers are
+// identical at any setting.
 //
 // -check retains every published snapshot and verifies each sampled answer
 // against a full recomputation at its epoch (slower; it is how the serving
@@ -35,6 +39,7 @@ func main() {
 	readers := flag.Int("readers", 8, "concurrent query goroutines")
 	cycles := flag.Int("cycles", 3, "refresh cycles the writer runs (per phase with -adapt)")
 	workers := flag.Int("workers", 0, "refresh worker pool size (0 = GOMAXPROCS)")
+	partitions := flag.Int("partitions", 1, "hash partitions per operator (<=1 = sequential operators)")
 	cacheMB := flag.Float64("cache", 64, "dynamic result cache budget in MB (negative disables)")
 	check := flag.Bool("check", false, "verify sampled answers against step-boundary recomputation")
 	adapt := flag.Bool("adapt", false, "drifting workload with online re-selection, vs a static baseline")
@@ -47,6 +52,7 @@ func main() {
 		ad, st := bench.AdaptiveVsStatic(bench.AdaptiveConfig{
 			ScaleFactor: *sf, UpdatePct: *pct,
 			Readers: *readers, CyclesPerPhase: *cycles, Workers: *workers,
+			Partitions:  *partitions,
 			CacheBudget: *cacheMB * (1 << 20),
 			Seed:        *seed, Check: *check,
 		})
@@ -66,6 +72,7 @@ func main() {
 	r := bench.ConcurrentServe(bench.ServeConfig{
 		ScaleFactor: *sf, UpdatePct: *pct,
 		Readers: *readers, Cycles: *cycles, Workers: *workers,
+		Partitions:  *partitions,
 		CacheBudget: *cacheMB * (1 << 20),
 		Check:       *check,
 	})

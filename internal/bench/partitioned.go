@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/greedy"
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+// PartitionedResult measures partition-parallel operator execution
+// (exec/parallel.go) on the workload the PR-2 task scheduler cannot help
+// with: a single four-relation join view, whose refresh is one differential
+// task per update step. All speedup must therefore come from inside the
+// operators — co-partitioned hash joins, morsel scans, partition-wise
+// merges. Every run is verified exact against recomputation, and every
+// partitioned run's maintained rows are checked byte-identical to the
+// sequential run's (the partition-count independence contract).
+type PartitionedResult struct {
+	ScaleFactor float64
+	UpdatePct   float64
+	Cycles      int
+	// Partitions[i] was refreshed in Refresh[i] per cycle (averaged).
+	Partitions []int
+	Refresh    []time.Duration
+	// Verified is true when every run matched recomputation; Identical when
+	// every partitioned run's view rows were byte-identical to the first
+	// (sequential) run's.
+	Verified, Identical bool
+}
+
+// buildJoin4Runtime assembles the single-view join workload on generated
+// data. Equal seeds give byte-identical databases, plans and update batches.
+func buildJoin4Runtime(sf, pct float64, seed int64) (*core.Runtime, *core.MaintenancePlan) {
+	cat := tpcd.NewCatalog(sf, true)
+	db := tpcd.Generate(cat, sf, seed)
+	sys := core.NewSystem(cat, core.Options{})
+	if _, err := sys.AddView("join4", tpcd.ViewJoin4(cat)); err != nil {
+		panic(err)
+	}
+	u := diff.UniformPercent(cat, tpcd.UpdatedRelations(), pct)
+	plan := sys.OptimizeGreedy(u, greedy.DefaultConfig())
+	return plan.NewRuntime(db), plan
+}
+
+// PartitionedRefresh times the single-view refresh at each partition count
+// (the first entry is the baseline the speedups are relative to; use 1 for
+// the sequential operators).
+func PartitionedRefresh(sf, pct float64, cycles int, partitions []int) PartitionedResult {
+	out := PartitionedResult{
+		ScaleFactor: sf, UpdatePct: pct, Cycles: cycles,
+		Partitions: partitions, Verified: true, Identical: true,
+	}
+	var baseline *storage.Relation
+	for _, p := range partitions {
+		rt, plan := buildJoin4Runtime(sf, pct, 11)
+		rt.SetPartitions(p)
+		cat := plan.System.Cat
+		var total time.Duration
+		for c := 0; c < cycles; c++ {
+			tpcd.LogUniformUpdates(cat, rt.Ex.DB, tpcd.UpdatedRelations(), pct, int64(300+c))
+			start := time.Now()
+			rt.Refresh()
+			total += time.Since(start)
+		}
+		if err := rt.Verify(); err != nil {
+			out.Verified = false
+		}
+		rows := rt.ViewRows(plan.Views[0].View)
+		if baseline == nil {
+			baseline = rows
+		} else if !rowsIdentical(baseline, rows) {
+			out.Identical = false
+		}
+		out.Refresh = append(out.Refresh, total/time.Duration(cycles))
+	}
+	return out
+}
+
+// rowsIdentical reports row-by-row tuple equality (order included).
+func rowsIdentical(a, b *storage.Relation) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i, t := range a.Rows() {
+		if !t.Equal(b.Rows()[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DefaultPartitions is the sweep of the partitioned-refresh experiment:
+// sequential, a fixed small fan-out, and the hardware parallelism
+// (deduplicated).
+func DefaultPartitions() []int {
+	out := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Format renders the partition sweep with speedups over the first row.
+func (r PartitionedResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t-part — partition-parallel refresh wall-clock (1 join view, SF %g, %g%% updates, %d cycles)\n",
+		r.ScaleFactor, r.UpdatePct, r.Cycles)
+	base := time.Duration(0)
+	for i, p := range r.Partitions {
+		if i == 0 {
+			base = r.Refresh[i]
+		}
+		speedup := float64(base) / float64(r.Refresh[i])
+		fmt.Fprintf(&b, "  partitions %2d: refresh %8v  (%.2fx vs first row)\n",
+			p, r.Refresh[i].Round(time.Millisecond), speedup)
+	}
+	switch {
+	case !r.Verified:
+		b.WriteString("  VERIFICATION FAILED\n")
+	case !r.Identical:
+		b.WriteString("  PARTITION-COUNT DIVERGENCE (rows not byte-identical)\n")
+	default:
+		b.WriteString("  all runs verified exact and byte-identical across partition counts\n")
+	}
+	return b.String()
+}

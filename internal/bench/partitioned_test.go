@@ -1,0 +1,105 @@
+package bench
+
+// Golden and smoke tests for partition-parallel execution over real
+// generated data: the ten-view workload refreshed at several partition
+// counts must leave every maintained view byte-identical (the
+// partition-count independence contract), the PartitionedRefresh experiment
+// must verify and agree across its own sweep, and the serving layer must
+// stay consistent with step-boundary recomputation when both the writer and
+// the readers run partitioned operators. Run under -race in CI.
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+func TestTenViewPartitionedRefreshGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates TPC-D data")
+	}
+	const sf, pct, cycles = 0.002, 5, 2
+
+	refreshAll := func(partitions int) (*storageRelations, error) {
+		rt, plan := buildTenViewRuntime(sf, pct, 11)
+		rt.SetPartitions(partitions)
+		cat := plan.System.Cat
+		for c := 0; c < cycles; c++ {
+			tpcd.LogUniformUpdates(cat, rt.Ex.DB, tpcd.UpdatedRelations(), pct, int64(300+c))
+			rt.Refresh()
+		}
+		if err := rt.Verify(); err != nil {
+			return nil, err
+		}
+		out := &storageRelations{}
+		for _, vp := range plan.Views {
+			out.names = append(out.names, vp.View.Name)
+			out.rels = append(out.rels, rt.ViewRows(vp.View))
+		}
+		return out, nil
+	}
+
+	seq, err := refreshAll(1)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	for _, partitions := range []int{4, 7} {
+		par, err := refreshAll(partitions)
+		if err != nil {
+			t.Fatalf("partitions=%d run: %v", partitions, err)
+		}
+		for i, name := range seq.names {
+			want, got := seq.rels[i], par.rels[i]
+			if !storage.EqualMultiset(want, got) {
+				t.Fatalf("partitions=%d: view %s diverged as multiset (%d vs %d rows)",
+					partitions, name, want.Len(), got.Len())
+			}
+			for r, tu := range want.Rows() {
+				if !tu.Equal(got.Rows()[r]) {
+					t.Fatalf("partitions=%d: view %s not byte-identical at row %d",
+						partitions, name, r)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionedRefreshExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates TPC-D data")
+	}
+	r := PartitionedRefresh(0.002, 5, 1, []int{1, 2, 4})
+	if !r.Verified {
+		t.Fatalf("a run diverged from recomputation")
+	}
+	if !r.Identical {
+		t.Fatalf("maintained rows not byte-identical across partition counts")
+	}
+	if len(r.Refresh) != 3 {
+		t.Fatalf("expected 3 timings, got %d", len(r.Refresh))
+	}
+	if r.Format() == "" {
+		t.Fatalf("empty report")
+	}
+}
+
+func TestPartitionedServeConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates TPC-D data and serves concurrently")
+	}
+	r := ConcurrentServe(ServeConfig{
+		ScaleFactor: 0.002, UpdatePct: 4,
+		Readers: 3, Cycles: 2, Partitions: 4,
+		Check: true,
+	})
+	if !r.Verified {
+		t.Fatalf("maintained views diverged from recomputation")
+	}
+	if !r.Consistent {
+		t.Fatalf("a served answer diverged from its step-boundary recomputation")
+	}
+	if r.CheckedSamples == 0 {
+		t.Fatalf("consistency check sampled nothing")
+	}
+}

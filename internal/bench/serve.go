@@ -35,6 +35,9 @@ type ServeConfig struct {
 	Cycles int
 	// Workers bounds the refresh scheduler's pool (0 = GOMAXPROCS).
 	Workers int
+	// Partitions configures partition-parallel operators for both refresh
+	// and query execution (<=1: sequential; see core.Runtime.SetPartitions).
+	Partitions int
 	// CacheBudget is the serving result-cache size in bytes (0 = default).
 	CacheBudget float64
 	// Queries is the SQL mix; nil selects DefaultServeQueries.
@@ -103,6 +106,7 @@ func ConcurrentServe(cfg ServeConfig) ServeResult {
 	}
 	rt, plan := buildTenViewRuntime(cfg.ScaleFactor, cfg.UpdatePct, 11)
 	rt.SetWorkers(cfg.Workers)
+	rt.SetPartitions(cfg.Partitions)
 	rt.EnableServing(core.ServeOptions{
 		CacheBudget:   cfg.CacheBudget,
 		RetainHistory: cfg.Check,

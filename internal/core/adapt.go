@@ -321,6 +321,9 @@ func (r *Runtime) adaptRound() (*AdaptResult, error) {
 	sys.prepare()
 	cfg.Seed = mapChanges(priorChanges(plan), plan.System.Dag, sys.Dag)
 	newPlan := sys.OptimizeWorkload(u, cfg)
+	// The physical execution configuration travels with the evaluation
+	// state: a hot swap must not silently drop partition parallelism.
+	newPlan.Eval.Par = plan.Eval.Par
 
 	// Price "keep the previous set" under the same engine: the baseline the
 	// re-selection must not exceed, and the hysteresis reference.
@@ -356,6 +359,8 @@ func (r *Runtime) adaptRound() (*AdaptResult, error) {
 		}
 	}
 	tmp := exec.NewExecutor(snap.Database())
+	tmp.Par = newPlan.Eval.Par
+	tmp.Sizer = newPlan.Engine.FinalRows
 	for _, newID := range sortedMatIDs(newPlan) {
 		e := newPlan.System.Dag.Equivs[newID]
 		if e.IsTable {
@@ -637,6 +642,7 @@ func (r *Runtime) InstallPending() bool {
 	r.adaptMu.Lock()
 	r.Plan = ps.plan
 	r.Ex.Mat, r.Ex.Agg = newMat, newAgg
+	r.Ex.Sizer = ps.plan.Engine.FinalRows
 	r.Mt.Rebind(ps.plan.Engine, ps.plan.Eval)
 	s.dag = ps.sd
 	s.mgr.Rebase(ps.sd, ps.plan.System.Model, ps.base)

@@ -370,6 +370,8 @@ type Runtime struct {
 // full results) from the database and returns a refresh driver.
 func (p *MaintenancePlan) NewRuntime(db *storage.Database) *Runtime {
 	ex := exec.NewExecutor(db)
+	ex.Par = p.Eval.Par
+	ex.Sizer = p.Engine.FinalRows
 	ids := make([]int, 0, len(p.Eval.MS.Fulls.Full))
 	for id := range p.Eval.MS.Fulls.Full {
 		ids = append(ids, id)
@@ -412,6 +414,32 @@ func (r *Runtime) observeCycle() {
 // runtime.GOMAXPROCS(0), 1 = sequential). Refresh results are identical at
 // any setting; see exec.Maintainer.Workers.
 func (r *Runtime) SetWorkers(n int) { r.Mt.Workers = n }
+
+// SetPartitions configures partition-parallel operator execution across the
+// whole runtime: every scan, selection, projection, hash join, dedup,
+// multiset difference and aggregation — in refresh differentials, merges,
+// recomputation fallbacks, verification and served queries — splits its
+// input into n hash partitions processed by one goroutine each (n <= 1
+// restores sequential operators). Results are byte-identical at any setting
+// for non-aggregate results and set-equal with identical counts for
+// aggregates. The configuration is carried on the plan's diff.Eval, so
+// adaptation swaps preserve it. Call before refreshing or serving
+// concurrently.
+func (r *Runtime) SetPartitions(n int) {
+	var par storage.Par
+	if n > 1 {
+		par = storage.Par{Partitions: n, Workers: n}
+	}
+	r.Ex.Par = par
+	r.Plan.Eval.Par = par
+	r.srvMu.Lock()
+	if r.srv != nil {
+		r.srv.mu.Lock()
+		r.srv.par = par
+		r.srv.mu.Unlock()
+	}
+	r.srvMu.Unlock()
+}
 
 // ViewRows returns the maintained contents of a view.
 func (r *Runtime) ViewRows(v View) *storage.Relation {

@@ -1,0 +1,62 @@
+package core
+
+// Serving-level partition-count independence: the same workload built,
+// refreshed and queried at partitions ∈ {1, 4, 7} must answer every
+// non-aggregate query byte-identically (aggregates: multiset-equal; their
+// group order is map order even sequentially). Run under -race in CI, so
+// the partitioned executors under Query are exercised for races too.
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+func TestServePartitionCountIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates TPC-D data")
+	}
+	// Index 1 is aggregate (multiset check); the rest are order-deterministic.
+	aggregateIdx := map[int]bool{1: true, 2: true}
+
+	answers := func(partitions int) []*storage.Relation {
+		rt := buildServingRuntime(t, 0.002, 5)
+		rt.SetPartitions(partitions)
+		rt.EnableServing(ServeOptions{})
+		cat := rt.Plan.System.Cat
+		tpcd.LogUniformUpdates(cat, rt.Ex.DB, updatedRels, 5, 99)
+		rt.Refresh()
+		if err := rt.Verify(); err != nil {
+			t.Fatalf("partitions=%d: %v", partitions, err)
+		}
+		var out []*storage.Relation
+		for _, sql := range serveQueries {
+			res, err := rt.Query(sql)
+			if err != nil {
+				t.Fatalf("partitions=%d: %v", partitions, err)
+			}
+			out = append(out, res.Rows)
+		}
+		return out
+	}
+
+	base := answers(1)
+	for _, p := range []int{4, 7} {
+		got := answers(p)
+		for i := range base {
+			if !storage.EqualMultiset(base[i], got[i]) {
+				t.Fatalf("partitions=%d: query %d diverged as multiset (%d vs %d rows)",
+					p, i, base[i].Len(), got[i].Len())
+			}
+			if aggregateIdx[i] {
+				continue
+			}
+			for r, tu := range base[i].Rows() {
+				if !tu.Equal(got[i].Rows()[r]) {
+					t.Fatalf("partitions=%d: query %d not byte-identical at row %d", p, i, r)
+				}
+			}
+		}
+	}
+}

@@ -104,6 +104,9 @@ type server struct {
 	mu  sync.Mutex
 	dag *dag.DAG
 	mgr *cache.Manager
+	// par is the partition-parallel configuration query executors run with
+	// (mirrors Runtime.SetPartitions; read under mu at planning time).
+	par storage.Par
 	// roots memoizes insertion by query text, so repeated queries skip the
 	// parse and DAG walk entirely (bounded by maxRootMemo).
 	roots map[string]*dag.Equiv
@@ -152,6 +155,7 @@ func (r *Runtime) enableServingLocked(opts ServeOptions) {
 	r.srv = &server{
 		cat:     r.Plan.System.Cat,
 		tracker: r.tracker,
+		par:     r.Ex.Par,
 		dag:     sd,
 		mgr:     cache.NewOver(sd, r.Plan.System.Model, budget, base),
 		roots:   make(map[string]*dag.Equiv),
@@ -294,6 +298,7 @@ func (r *Runtime) Query(sql string) (*QueryResult, error) {
 		s.stats.CacheHits++
 	}
 	epoch := snap.Epoch()
+	par := s.par
 	s.mu.Unlock()
 	// Feed the workload tracker outside the serving mutex (it has its own):
 	// shapes merge by canonical key, so the adaptation pipeline sees
@@ -305,7 +310,7 @@ func (r *Runtime) Query(sql string) (*QueryResult, error) {
 	// base-only plans are mutually independent), then are installed back
 	// into the cache unless a newer epoch has invalidated it meanwhile.
 	for _, rf := range refills {
-		rex := &exec.Executor{DB: snap.Database(), Mat: mats}
+		rex := &exec.Executor{DB: snap.Database(), Mat: mats, Par: par}
 		mats[rf.id] = rex.Run(rf.plan)
 	}
 	if len(refills) > 0 {
@@ -320,7 +325,7 @@ func (r *Runtime) Query(sql string) (*QueryResult, error) {
 		}
 		s.mu.Unlock()
 	}
-	ex := &exec.Executor{DB: snap.Database(), Mat: mats}
+	ex := &exec.Executor{DB: snap.Database(), Mat: mats, Par: par}
 	rows := ex.Run(plan)
 	return &QueryResult{
 		SQL: sql, Rows: rows, Plan: plan,

@@ -84,23 +84,24 @@ func (mt *Maintainer) Rebind(en *diff.Engine, ev *diff.Eval) {
 // for verifying maintained results.
 func (ex *Executor) EvalNode(e *dag.Equiv) *storage.Relation {
 	op := e.Ops[0]
+	par := ex.Par
 	switch op.Kind {
 	case dag.OpScan:
-		return projectTo(ex.DB.MustRelation(op.Table), e.Schema)
+		return projectToP(ex.DB.MustRelation(op.Table), e.Schema, par)
 	case dag.OpSelect:
-		return projectTo(filterRel(ex.EvalNode(op.Children[0]), op.Pred), e.Schema)
+		return projectToP(filterRelP(ex.EvalNode(op.Children[0]), op.Pred, par), e.Schema, par)
 	case dag.OpProject:
-		return projectTo(ex.EvalNode(op.Children[0]), e.Schema)
+		return projectToP(ex.EvalNode(op.Children[0]), e.Schema, par)
 	case dag.OpJoin:
-		return projectTo(hashJoin(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1]), op.Pred), e.Schema)
+		return projectToP(hashJoinP(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1]), op.Pred, par), e.Schema, par)
 	case dag.OpAggregate:
-		return projectTo(aggregate(ex.EvalNode(op.Children[0]), op, e.Schema), e.Schema)
+		return projectToP(aggregateP(ex.EvalNode(op.Children[0]), op, e.Schema, par, ex.sizeHint(e)), e.Schema, par)
 	case dag.OpUnion:
-		return projectTo(unionAll(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1])), e.Schema)
+		return projectToP(unionAllP(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1]), par), e.Schema, par)
 	case dag.OpMinus:
-		return projectTo(minus(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1])), e.Schema)
+		return projectToP(minusP(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1]), par), e.Schema, par)
 	case dag.OpDedup:
-		return projectTo(dedup(ex.EvalNode(op.Children[0])), e.Schema)
+		return projectToP(dedupP(ex.EvalNode(op.Children[0]), par), e.Schema, par)
 	default:
 		panic("exec: unexpected op kind " + op.Kind.String())
 	}
@@ -118,15 +119,14 @@ func (ex *Executor) MaterializeNode(e *dag.Equiv) *storage.Relation {
 	op := e.Ops[0]
 	if op.Kind == dag.OpAggregate {
 		in := ex.EvalNode(op.Children[0])
-		at := NewAggTable(in.Schema(), op.GroupBy, op.Aggs, e.Schema)
-		at.Absorb(in, 1)
+		at := buildAggTableP(in, op.GroupBy, op.Aggs, e.Schema, ex.Par, ex.sizeHint(e))
 		ex.Agg[e.ID] = at
-		ex.Mat[e.ID] = projectTo(at.Rows(), e.Schema)
+		ex.Mat[e.ID] = projectToP(at.Rows(), e.Schema, ex.Par)
 	} else {
 		// Clone defensively: EvalNode may return a relation aliasing base
 		// storage (e.g. a projection that keeps the full schema), and the
 		// materialized copy is mutated by merges.
-		ex.Mat[e.ID] = ex.EvalNode(e).Clone()
+		ex.Mat[e.ID] = ex.EvalNode(e).ParClone(ex.Par)
 	}
 	return ex.Mat[e.ID]
 }
@@ -231,10 +231,10 @@ func (mt *Maintainer) refreshOne(i int) {
 			if dirty := at.Absorb(pm.task.result(), sign); dirty {
 				ex.MaterializeNode(pm.e)
 			} else {
-				ex.Mat[pm.e.ID] = projectTo(at.Rows(), pm.e.Schema)
+				ex.Mat[pm.e.ID] = projectToP(at.Rows(), pm.e.Schema, ex.Par)
 			}
 		case sign > 0:
-			delta := projectTo(pm.task.result(), pm.e.Schema)
+			delta := projectToP(pm.task.result(), pm.e.Schema, ex.Par)
 			if delta.Len() == 0 {
 				continue // identity merge: keep the current (published) version
 			}
@@ -244,14 +244,14 @@ func (mt *Maintainer) refreshOne(i int) {
 				ex.Mat[pm.e.ID].InsertAll(delta)
 			}
 		default:
-			delta := projectTo(pm.task.result(), pm.e.Schema)
+			delta := projectToP(pm.task.result(), pm.e.Schema, ex.Par)
 			if delta.Len() == 0 {
 				continue
 			}
 			if cow {
-				ex.Mat[pm.e.ID] = storage.MinusCOW(ex.Mat[pm.e.ID], delta)
+				ex.Mat[pm.e.ID] = storage.ParMinusCOW(ex.Mat[pm.e.ID], delta, ex.Par)
 			} else {
-				ex.Mat[pm.e.ID].SubtractAll(delta)
+				ex.Mat[pm.e.ID].ParSubtractAll(delta, ex.Par)
 			}
 		}
 	}

@@ -76,14 +76,7 @@ func projectTo(in *storage.Relation, target algebra.Schema) *storage.Relation {
 	if schemaEqual(in.Schema(), target) {
 		return in
 	}
-	idx := make([]int, len(target))
-	for i, c := range target {
-		j := in.Schema().IndexOf(c.QName())
-		if j < 0 {
-			panic(fmt.Sprintf("exec: column %s missing from %s", c.QName(), in.Schema()))
-		}
-		idx[i] = j
-	}
+	idx := projIndexes(in.Schema(), target)
 	out := storage.NewRelation(target)
 	out.Reserve(in.Len())
 	var arena tupleArena
@@ -273,7 +266,18 @@ type AggTable struct {
 // NewAggTable builds empty aggregation state for an aggregate operation over
 // an input schema, producing the output schema out.
 func NewAggTable(in algebra.Schema, groupBy []algebra.ColRef, specs []algebra.AggSpec, out algebra.Schema) *AggTable {
-	at := &AggTable{specs: specs, out: out, groups: make(map[uint64][]*groupState)}
+	return NewAggTableSized(in, groupBy, specs, out, 0)
+}
+
+// NewAggTableSized is NewAggTable with the group map pre-sized for about
+// hint groups. Materialization passes the optimizer's catalog-derived
+// cardinality estimate here, so bulk loads do not rehash the map as groups
+// accumulate.
+func NewAggTableSized(in algebra.Schema, groupBy []algebra.ColRef, specs []algebra.AggSpec, out algebra.Schema, hint int) *AggTable {
+	if hint < 0 {
+		hint = 0
+	}
+	at := &AggTable{specs: specs, out: out, groups: make(map[uint64][]*groupState, hint)}
 	for _, g := range groupBy {
 		j := in.IndexOf(g.QName())
 		if j < 0 {
@@ -300,76 +304,95 @@ func NewAggTable(in algebra.Schema, groupBy []algebra.ColRef, specs []algebra.Ag
 // have been invalidated (a deletion matching the current extremum).
 func (at *AggTable) Absorb(in *storage.Relation, sign int64) (minMaxDirty bool) {
 	for _, t := range in.Rows() {
-		h := t.HashCols(at.groupBy)
-		chain := at.groups[h]
-		var g *groupState
-		gi := -1
-		for i, cand := range chain {
-			if cand.keyMatches(t, at.groupBy) {
-				g, gi = cand, i
-				break
-			}
-		}
-		if g == nil {
-			g = &groupState{accs: make([]aggAcc, len(at.specs))}
-			g.keyVals = make(algebra.Tuple, len(at.groupBy))
-			for i, j := range at.groupBy {
-				g.keyVals[i] = t[j]
-			}
-			for i := range g.accs {
-				g.accs[i].min = math.Inf(1)
-				g.accs[i].max = math.Inf(-1)
-			}
-			at.groups[h] = append(chain, g)
-			gi = len(chain)
-			at.n++
-		}
-		g.rows += sign
-		for i, s := range at.specs {
-			acc := &g.accs[i]
-			var v float64
-			if at.aggCols[i] >= 0 {
-				v = t[at.aggCols[i]].AsFloat()
-			}
-			switch s.Func {
-			case algebra.Count:
-				acc.cnt += sign
-			case algebra.Sum, algebra.Avg:
-				acc.sum += float64(sign) * v
-				acc.cnt += sign
-			case algebra.Min:
-				if sign > 0 {
-					if v < acc.min {
-						acc.min = v
-					}
-				} else if v <= acc.min {
-					minMaxDirty = true
-				}
-				acc.cnt += sign
-			case algebra.Max:
-				if sign > 0 {
-					if v > acc.max {
-						acc.max = v
-					}
-				} else if v >= acc.max {
-					minMaxDirty = true
-				}
-				acc.cnt += sign
-			}
-		}
-		if g.rows <= 0 {
-			chain := at.groups[h]
-			chain[gi] = chain[len(chain)-1]
-			chain = chain[:len(chain)-1]
-			if len(chain) == 0 {
-				delete(at.groups, h)
-			} else {
-				at.groups[h] = chain
-			}
-			at.n--
+		if at.absorbOne(t.HashCols(at.groupBy), t, sign) {
+			minMaxDirty = true
 		}
 	}
 	return minMaxDirty
+}
+
+// absorbOne folds a single tuple (with its precomputed group-key hash) into
+// the state; the partition-parallel build uses it to avoid rehashing.
+func (at *AggTable) absorbOne(h uint64, t algebra.Tuple, sign int64) (minMaxDirty bool) {
+	chain := at.groups[h]
+	var g *groupState
+	gi := -1
+	for i, cand := range chain {
+		if cand.keyMatches(t, at.groupBy) {
+			g, gi = cand, i
+			break
+		}
+	}
+	if g == nil {
+		g = &groupState{accs: make([]aggAcc, len(at.specs))}
+		g.keyVals = make(algebra.Tuple, len(at.groupBy))
+		for i, j := range at.groupBy {
+			g.keyVals[i] = t[j]
+		}
+		for i := range g.accs {
+			g.accs[i].min = math.Inf(1)
+			g.accs[i].max = math.Inf(-1)
+		}
+		at.groups[h] = append(chain, g)
+		gi = len(chain)
+		at.n++
+	}
+	g.rows += sign
+	for i, s := range at.specs {
+		acc := &g.accs[i]
+		var v float64
+		if at.aggCols[i] >= 0 {
+			v = t[at.aggCols[i]].AsFloat()
+		}
+		switch s.Func {
+		case algebra.Count:
+			acc.cnt += sign
+		case algebra.Sum, algebra.Avg:
+			acc.sum += float64(sign) * v
+			acc.cnt += sign
+		case algebra.Min:
+			if sign > 0 {
+				if v < acc.min {
+					acc.min = v
+				}
+			} else if v <= acc.min {
+				minMaxDirty = true
+			}
+			acc.cnt += sign
+		case algebra.Max:
+			if sign > 0 {
+				if v > acc.max {
+					acc.max = v
+				}
+			} else if v >= acc.max {
+				minMaxDirty = true
+			}
+			acc.cnt += sign
+		}
+	}
+	if g.rows <= 0 {
+		chain := at.groups[h]
+		chain[gi] = chain[len(chain)-1]
+		chain = chain[:len(chain)-1]
+		if len(chain) == 0 {
+			delete(at.groups, h)
+		} else {
+			at.groups[h] = chain
+		}
+		at.n--
+	}
+	return minMaxDirty
+}
+
+// merge adopts every group of another table built over the same operation.
+// The caller guarantees group-key disjointness (hash-partitioned inputs:
+// partitions own disjoint hash residues), so chains transfer without key
+// comparisons and bucket keys cannot collide across tables.
+func (at *AggTable) merge(o *AggTable) {
+	for h, chain := range o.groups {
+		at.groups[h] = append(at.groups[h], chain...)
+	}
+	at.n += o.n
 }
 
 // keyMatches reports whether the group's key equals the group-by columns of

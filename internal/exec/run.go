@@ -16,6 +16,16 @@ type Executor struct {
 	Mat map[int]*storage.Relation
 	// Agg holds the mergeable state of materialized aggregate results.
 	Agg map[int]*AggTable
+	// Par configures partition-parallel operator execution (zero value:
+	// sequential). Results are byte-identical at any setting for
+	// non-aggregate operators and set-equal with identical counts for
+	// aggregates; see parallel.go. Set it before sharing the executor
+	// across goroutines.
+	Par storage.Par
+	// Sizer, when non-nil, estimates a node's final row count (the catalog-
+	// derived sizers of the diff engine); materialization uses it to
+	// pre-size aggregation state instead of growing from empty.
+	Sizer func(e *dag.Equiv) float64
 }
 
 // NewExecutor wraps a database.
@@ -41,13 +51,14 @@ func (ex *Executor) Run(p *volcano.PlanNode) *storage.Relation {
 		panic("exec: probe node executed directly (must be handled by its join)")
 	}
 	op := p.Op
+	par := ex.Par
 	switch op.Kind {
 	case dag.OpScan:
-		return projectTo(ex.DB.MustRelation(op.Table), p.E.Schema)
+		return projectToP(ex.DB.MustRelation(op.Table), p.E.Schema, par)
 	case dag.OpSelect:
-		return projectTo(filterRel(ex.Run(p.Children[0]), op.Pred), p.E.Schema)
+		return projectToP(filterRelP(ex.Run(p.Children[0]), op.Pred, par), p.E.Schema, par)
 	case dag.OpProject:
-		return projectTo(ex.Run(p.Children[0]), p.E.Schema)
+		return projectToP(ex.Run(p.Children[0]), p.E.Schema, par)
 	case dag.OpJoin:
 		l := ex.Run(p.Children[0])
 		var r *storage.Relation
@@ -59,25 +70,34 @@ func (ex *Executor) Run(p *volcano.PlanNode) *storage.Relation {
 		} else {
 			r = ex.Run(p.Children[1])
 		}
-		return projectTo(hashJoin(l, r, op.Pred), p.E.Schema)
+		return projectToP(hashJoinP(l, r, op.Pred, par), p.E.Schema, par)
 	case dag.OpAggregate:
-		return projectTo(aggregate(ex.Run(p.Children[0]), op, p.E.Schema), p.E.Schema)
+		return projectToP(aggregateP(ex.Run(p.Children[0]), op, p.E.Schema, par, ex.sizeHint(p.E)), p.E.Schema, par)
 	case dag.OpUnion:
-		return projectTo(unionAll(ex.Run(p.Children[0]), ex.Run(p.Children[1])), p.E.Schema)
+		return projectToP(unionAllP(ex.Run(p.Children[0]), ex.Run(p.Children[1]), par), p.E.Schema, par)
 	case dag.OpMinus:
-		return projectTo(minus(ex.Run(p.Children[0]), ex.Run(p.Children[1])), p.E.Schema)
+		return projectToP(minusP(ex.Run(p.Children[0]), ex.Run(p.Children[1]), par), p.E.Schema, par)
 	case dag.OpDedup:
-		return projectTo(dedup(ex.Run(p.Children[0])), p.E.Schema)
+		return projectToP(dedupP(ex.Run(p.Children[0]), par), p.E.Schema, par)
 	default:
 		panic("exec: unexpected op kind " + op.Kind.String())
 	}
+}
+
+// sizeHint estimates a node's final row count via the installed Sizer (0
+// without one).
+func (ex *Executor) sizeHint(e *dag.Equiv) int {
+	if ex.Sizer == nil {
+		return 0
+	}
+	return int(ex.Sizer(e))
 }
 
 // stored returns the on-disk image of a node: the base relation for table
 // leaves, the materialized copy otherwise.
 func (ex *Executor) stored(e *dag.Equiv) *storage.Relation {
 	if e.IsTable {
-		return projectTo(ex.DB.MustRelation(e.Tables[0]), e.Schema)
+		return projectToP(ex.DB.MustRelation(e.Tables[0]), e.Schema, ex.Par)
 	}
 	r := ex.Mat[e.ID]
 	if r == nil {
@@ -93,12 +113,11 @@ func (ex *Executor) Materialize(p *volcano.PlanNode) *storage.Relation {
 	e := p.E
 	if p.Access == volcano.Compute && p.Op.Kind == dag.OpAggregate {
 		in := ex.Run(p.Children[0])
-		at := NewAggTable(in.Schema(), p.Op.GroupBy, p.Op.Aggs, e.Schema)
-		at.Absorb(in, 1)
+		at := buildAggTableP(in, p.Op.GroupBy, p.Op.Aggs, e.Schema, ex.Par, ex.sizeHint(e))
 		ex.Agg[e.ID] = at
-		ex.Mat[e.ID] = projectTo(at.Rows(), e.Schema)
+		ex.Mat[e.ID] = projectToP(at.Rows(), e.Schema, ex.Par)
 		return ex.Mat[e.ID]
 	}
-	ex.Mat[e.ID] = ex.Run(p).Clone()
+	ex.Mat[e.ID] = ex.Run(p).ParClone(ex.Par)
 	return ex.Mat[e.ID]
 }

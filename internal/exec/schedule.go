@@ -241,17 +241,18 @@ func (sr *stepRun) exec(p *diff.DiffPlan) *storage.Relation {
 	}
 	op := p.Op
 	u := mt.En.U
+	par := ex.Par
 	switch op.Kind {
 	case dag.OpScan:
 		d := ex.DB.Delta(op.Table)
 		if u.IsInsert(p.Update) {
-			return projectTo(d.Plus, e.Schema)
+			return projectToP(d.Plus, e.Schema, par)
 		}
-		return projectTo(d.Minus, e.Schema)
+		return projectToP(d.Minus, e.Schema, par)
 	case dag.OpSelect:
-		return projectTo(filterRel(sr.exec(p.DiffChildren[0]), op.Pred), e.Schema)
+		return projectToP(filterRelP(sr.exec(p.DiffChildren[0]), op.Pred, par), e.Schema, par)
 	case dag.OpProject:
-		return projectTo(sr.exec(p.DiffChildren[0]), e.Schema)
+		return projectToP(sr.exec(p.DiffChildren[0]), e.Schema, par)
 	case dag.OpJoin:
 		dc := sr.exec(p.DiffChildren[0])
 		var full *storage.Relation
@@ -261,18 +262,18 @@ func (sr *stepRun) exec(p *diff.DiffPlan) *storage.Relation {
 			// Index nested loops: probe the stored inner side.
 			full = ex.stored(otherJoinChild(p))
 		}
-		return projectTo(hashJoin(dc, full, op.Pred), e.Schema)
+		return projectToP(hashJoinP(dc, full, op.Pred, par), e.Schema, par)
 	case dag.OpAggregate:
 		// A maintainable aggregate differential consumed by an ancestor:
 		// aggregate the input delta (merge semantics are the ancestor's
 		// concern; the benchmark workloads materialize aggregates only at
 		// roots, where the Maintainer merges via AggTable instead).
 		in := sr.exec(p.DiffChildren[0])
-		return projectTo(aggregate(in, op, e.Schema), e.Schema)
+		return projectToP(aggregateP(in, op, e.Schema, par, 0), e.Schema, par)
 	case dag.OpUnion:
 		out := storage.NewRelation(e.Schema)
 		for _, c := range p.DiffChildren {
-			out.InsertAll(projectTo(sr.exec(c), e.Schema))
+			out.InsertAll(projectToP(sr.exec(c), e.Schema, par))
 		}
 		return out
 	case dag.OpMinus:

@@ -155,6 +155,12 @@ func (st *SnapshotStore) PublishState(db *Database, mats map[int]*Relation) *Sna
 // UnionCOW returns r ∪ add (multiset union, r's rows first) as a new
 // relation without mutating either input. Row order matches
 // Relation.InsertAll applied to a copy of r.
+//
+// When r carries a cached hash-partition view, the new version's view is
+// derived per partition instead of rebuilt: partitions the added rows do not
+// touch share r's index slices unchanged (copy-on-write at partition
+// granularity), and touched partitions get a copied slice extended with the
+// new row indexes — O(|add|) work plus one slice copy per touched partition.
 func UnionCOW(r, add *Relation) *Relation {
 	if len(add.schema) != len(r.schema) {
 		panic("storage: UnionCOW schema arity mismatch")
@@ -163,6 +169,36 @@ func UnionCOW(r, add *Relation) *Relation {
 	out.rows = make([]algebra.Tuple, 0, r.Len()+add.Len())
 	out.rows = append(out.rows, r.rows...)
 	out.rows = append(out.rows, add.rows...)
+	if pv := r.part.Load(); pv != nil {
+		out.part.Store(extendPartView(pv, add.rows, r.Len()))
+	}
+	return out
+}
+
+// extendPartView derives the partition view of base ∪ add from base's view,
+// sharing untouched partitions. base's hashes array is never mutated — the
+// extended view gets a grown copy.
+func extendPartView(pv *PartView, add []algebra.Tuple, baseLen int) *PartView {
+	p := len(pv.idx)
+	out := &PartView{
+		idx:    make([][]int32, p),
+		hashes: make([]uint64, baseLen+len(add)),
+	}
+	copy(out.idx, pv.idx) // untouched partitions share base's slices
+	copy(out.hashes, pv.hashes)
+	copied := make([]bool, p)
+	for j, t := range add {
+		h := t.Hash()
+		out.hashes[baseLen+j] = h
+		q := int(h % uint64(p))
+		if !copied[q] {
+			grown := make([]int32, len(out.idx[q]), len(out.idx[q])+len(add)-j)
+			copy(grown, out.idx[q])
+			out.idx[q] = grown
+			copied[q] = true
+		}
+		out.idx[q] = append(out.idx[q], int32(baseLen+j))
+	}
 	return out
 }
 

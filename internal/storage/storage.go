@@ -11,15 +11,20 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 )
 
 // Relation is an in-memory multiset of tuples with a fixed schema.
 // Duplicates are represented positionally (a tuple may appear several times).
+// A relation version may additionally carry a cached hash-partition view
+// (PartView, partition.go) used by the partition-parallel operators; any
+// in-place mutation drops it.
 type Relation struct {
 	schema algebra.Schema
 	rows   []algebra.Tuple
+	part   atomic.Pointer[PartView]
 }
 
 // NewRelation creates an empty relation with the given schema.
@@ -43,12 +48,21 @@ func (r *Relation) Insert(t algebra.Tuple) {
 			len(t), len(r.schema)))
 	}
 	r.rows = append(r.rows, t)
+	r.invalidate()
 }
 
 // Append appends a tuple without the arity check. Executor hot paths use it
 // when the physical plan already guarantees the arity.
 func (r *Relation) Append(t algebra.Tuple) {
 	r.rows = append(r.rows, t)
+	r.invalidate()
+}
+
+// AppendAll appends a batch of tuples without arity checks; the
+// partition-parallel operators use it to install per-range outputs.
+func (r *Relation) AppendAll(ts []algebra.Tuple) {
+	r.rows = append(r.rows, ts...)
+	r.invalidate()
 }
 
 // Reserve grows the backing slice so n more rows fit without reallocation.
@@ -68,6 +82,7 @@ func (r *Relation) InsertAll(o *Relation) {
 			len(o.schema), len(r.schema)))
 	}
 	r.rows = append(r.rows, o.rows...)
+	r.invalidate()
 }
 
 // Clone returns a deep copy.
@@ -86,46 +101,40 @@ type tupleCount struct {
 	n int
 }
 
-// TupleCounts is a hashed multiset of tuples: a 64-bit typed tuple hash
-// (algebra.Tuple.Hash) keys a small bucket of distinct tuples, disambiguated
-// by Tuple.Equal when hashes collide. It replaces the former string-keyed
-// representation, which rendered every value per operation.
+// TupleCounts is a hashed multiset of tuples, hash-partitioned on the typed
+// 64-bit tuple hash (algebra.Tuple.Hash): the hash selects a partition
+// (h mod partitions), and within the partition keys a small bucket of
+// distinct tuples, disambiguated by Tuple.Equal when hashes collide. The
+// single-partition form behaves exactly like the former flat map; the
+// partitioned form (NewTupleCountsPar, ParCounts) is partition-compatible
+// with Relation.PartView at the same count, so the partition-parallel
+// operators build and consume the sub-multisets with no cross-partition
+// traffic.
 type TupleCounts struct {
+	parts []tcPart
+}
+
+// tcPart is one partition's bucket map and running multiplicity.
+type tcPart struct {
 	buckets map[uint64][]tupleCount
 	size    int
 }
 
-// NewTupleCounts returns an empty multiset sized for about n tuples.
-func NewTupleCounts(n int) *TupleCounts {
-	return &TupleCounts{buckets: make(map[uint64][]tupleCount, n)}
-}
-
-// Len returns the total multiplicity.
-func (tc *TupleCounts) Len() int { return tc.size }
-
-// Add raises the multiplicity of t by n.
-func (tc *TupleCounts) Add(t algebra.Tuple, n int) { tc.addHashed(t.Hash(), t, n) }
-
-// addHashed is Add with the hash supplied by the caller; tests use it to
-// force collisions.
-func (tc *TupleCounts) addHashed(h uint64, t algebra.Tuple, n int) {
-	bucket := tc.buckets[h]
+func (p *tcPart) add(h uint64, t algebra.Tuple, n int) {
+	bucket := p.buckets[h]
 	for i := range bucket {
 		if bucket[i].t.Equal(t) {
 			bucket[i].n += n
-			tc.size += n
+			p.size += n
 			return
 		}
 	}
-	tc.buckets[h] = append(bucket, tupleCount{t: t, n: n})
-	tc.size += n
+	p.buckets[h] = append(bucket, tupleCount{t: t, n: n})
+	p.size += n
 }
 
-// Count returns the multiplicity of t.
-func (tc *TupleCounts) Count(t algebra.Tuple) int { return tc.countHashed(t.Hash(), t) }
-
-func (tc *TupleCounts) countHashed(h uint64, t algebra.Tuple) int {
-	for _, e := range tc.buckets[h] {
+func (p *tcPart) count(h uint64, t algebra.Tuple) int {
+	for _, e := range p.buckets[h] {
 		if e.t.Equal(t) {
 			return e.n
 		}
@@ -133,20 +142,75 @@ func (tc *TupleCounts) countHashed(h uint64, t algebra.Tuple) int {
 	return 0
 }
 
+func (p *tcPart) remove(h uint64, t algebra.Tuple) bool {
+	bucket := p.buckets[h]
+	for i := range bucket {
+		if bucket[i].n > 0 && bucket[i].t.Equal(t) {
+			bucket[i].n--
+			p.size--
+			return true
+		}
+	}
+	return false
+}
+
+// NewTupleCounts returns an empty single-partition multiset sized for about
+// n tuples.
+func NewTupleCounts(n int) *TupleCounts { return newTupleCountsParts(n, 1) }
+
+// newTupleCountsParts sizes each partition's bucket map for its share of n
+// tuples, so partitioned builds do not rehash the maps as they fill.
+func newTupleCountsParts(n, parts int) *TupleCounts {
+	tc := &TupleCounts{parts: make([]tcPart, parts)}
+	per := n/parts + 1
+	for i := range tc.parts {
+		tc.parts[i].buckets = make(map[uint64][]tupleCount, per)
+	}
+	return tc
+}
+
+// Partitions returns the partition count.
+func (tc *TupleCounts) Partitions() int { return len(tc.parts) }
+
+// Len returns the total multiplicity.
+func (tc *TupleCounts) Len() int {
+	n := 0
+	for i := range tc.parts {
+		n += tc.parts[i].size
+	}
+	return n
+}
+
+// part selects the partition owning hash h.
+func (tc *TupleCounts) part(h uint64) *tcPart {
+	if len(tc.parts) == 1 {
+		return &tc.parts[0]
+	}
+	return &tc.parts[h%uint64(len(tc.parts))]
+}
+
+// Add raises the multiplicity of t by n.
+func (tc *TupleCounts) Add(t algebra.Tuple, n int) { tc.addHashed(t.Hash(), t, n) }
+
+// addHashed is Add with the hash supplied by the caller; tests use it to
+// force collisions.
+func (tc *TupleCounts) addHashed(h uint64, t algebra.Tuple, n int) {
+	tc.part(h).add(h, t, n)
+}
+
+// Count returns the multiplicity of t.
+func (tc *TupleCounts) Count(t algebra.Tuple) int { return tc.countHashed(t.Hash(), t) }
+
+func (tc *TupleCounts) countHashed(h uint64, t algebra.Tuple) int {
+	return tc.part(h).count(h, t)
+}
+
 // Remove lowers the multiplicity of t by one and reports whether a copy was
 // present.
 func (tc *TupleCounts) Remove(t algebra.Tuple) bool { return tc.removeHashed(t.Hash(), t) }
 
 func (tc *TupleCounts) removeHashed(h uint64, t algebra.Tuple) bool {
-	bucket := tc.buckets[h]
-	for i := range bucket {
-		if bucket[i].n > 0 && bucket[i].t.Equal(t) {
-			bucket[i].n--
-			tc.size--
-			return true
-		}
-	}
-	return false
+	return tc.part(h).remove(h, t)
 }
 
 // Counts returns the multiset as a hashed tuple → multiplicity map.
@@ -174,6 +238,7 @@ func (r *Relation) SubtractAll(o *Relation) {
 		kept = append(kept, t)
 	}
 	r.rows = kept
+	r.invalidate()
 }
 
 // EqualMultiset reports whether two relations hold exactly the same multiset

@@ -226,7 +226,12 @@ func Generate(cat *catalog.Catalog, sf float64, seed int64) *storage.Database {
 	db := storage.NewDatabase()
 	for _, name := range TableNames() {
 		t := cat.MustTable(name)
-		db.Create(name, algebra.TableSchema(t, name))
+		r := db.Create(name, algebra.TableSchema(t, name))
+		// Pre-size the bulk load from the catalog's cardinality estimate so
+		// the row slice does not regrow as the table fills.
+		if t.Stats.Rows > 0 {
+			r.Reserve(int(t.Stats.Rows))
+		}
 	}
 	n := func(t string) int64 { return scaled(t, sf) }
 	names := []string{"alpha", "beta", "gamma", "delta", "epsilon"}

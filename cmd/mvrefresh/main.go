@@ -8,12 +8,21 @@
 // Usage:
 //
 //	mvrefresh -sf 0.002 -pct 5 -nights 3 -workload set5agg -workers 4 -partitions 4
+//	mvrefresh -wal-dir /tmp/mvwal -fsync -nights 3
 //
 // -workers bounds the refresh scheduler's worker pool (0 = GOMAXPROCS,
 // 1 = sequential); -partitions turns on partition-parallel operators inside
 // each differential, merge and recomputation (hash-partitioned joins,
 // morsel scans; <=1 = sequential operators). Maintained results are
 // identical at any setting of either flag.
+//
+// -wal-dir switches the nightly batches onto the durable streaming path:
+// updates flow through the bounded ingest queue, every micro-batch is
+// group-committed to a write-ahead log in that directory before its epochs
+// publish, and the state is snapshot-spilled so a later run (or mvrecover)
+// can rebuild it. Re-running with the same -wal-dir recovers first, then
+// continues ingesting. -fsync extends durability to machine crashes; the
+// remaining flags tune the commit window and micro-batch bounds.
 package main
 
 import (
@@ -22,9 +31,12 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/diff"
 	"repro/internal/greedy"
+	"repro/internal/ingest"
+	"repro/internal/storage"
 	"repro/internal/tpcd"
 )
 
@@ -36,6 +48,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "data generator seed")
 	workers := flag.Int("workers", 0, "refresh worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	partitions := flag.Int("partitions", 1, "hash partitions per operator (<=1 = sequential operators)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory; enables the durable streaming path")
+	fsync := flag.Bool("fsync", false, "fsync group commits (with -wal-dir): durable against machine crashes")
+	commitWindow := flag.Duration("commit-window", 2*time.Millisecond, "group-commit coalescing window (with -wal-dir)")
+	batchRows := flag.Int("batch-rows", 2048, "max ops per refresh micro-batch (with -wal-dir)")
+	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "max linger forming a micro-batch (with -wal-dir)")
 	flag.Parse()
 
 	cat := tpcd.NewCatalog(*sf, true)
@@ -69,6 +86,15 @@ func main() {
 	plan := sys.OptimizeGreedy(u, greedy.DefaultConfig())
 	fmt.Print(plan.Report())
 
+	if *walDir != "" {
+		durableNights(plan, db, cat, updated, durableFlags{
+			dir: *walDir, fsync: *fsync, window: *commitWindow,
+			rows: *batchRows, wait: *batchWait,
+			pct: *pct, seed: *seed, nights: *nights,
+		})
+		return
+	}
+
 	rt := plan.NewRuntime(db)
 	rt.SetWorkers(*workers)
 	rt.SetPartitions(*partitions)
@@ -95,5 +121,87 @@ func main() {
 			fmt.Printf("  (%.1fx)", float64(verifyTime)/float64(refreshTime))
 		}
 		fmt.Println(" — verified exact")
+	}
+}
+
+// durableFlags carries the -wal-dir flag set into the durable path.
+type durableFlags struct {
+	dir    string
+	fsync  bool
+	window time.Duration
+	rows   int
+	wait   time.Duration
+	pct    float64
+	seed   int64
+	nights int
+}
+
+// durableNights runs the nightly batches through the WAL-backed streaming
+// path: recover (or anchor) the directory, then stream each night's batch
+// through the bounded queue, flushing and verifying at night boundaries.
+func durableNights(plan *core.MaintenancePlan, db *storage.Database, cat *catalog.Catalog, updated []string, f durableFlags) {
+	rt, info, err := plan.OpenDurable(db, core.DurableOptions{
+		Dir:          f.dir,
+		Fsync:        f.fsync,
+		CommitWindow: f.window,
+		Queue:        ingest.Config{MaxBatchRows: f.rows, MaxBatchWait: f.wait},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if info.Recovered {
+		fmt.Printf("recovered from %s: spill at batch %d (epoch %d), %d batches replayed, epoch %d\n",
+			f.dir, info.SpillBatch, info.SpillEpoch, info.ReplayedBatches, info.Epoch)
+	} else {
+		fmt.Printf("fresh WAL directory %s anchored (fsync: %v, commit window %v)\n",
+			f.dir, f.fsync, f.window)
+	}
+	if err := rt.StartIngest(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	base := rt.DurableStats().LastBatch
+	for night := 1; night <= f.nights; night++ {
+		s := tpcd.NewUpdateStream(cat, rt.Snapshots().Current().Database(),
+			updated, f.pct, f.seed+base+int64(night))
+		start := time.Now()
+		ops := 0
+		for {
+			op, ok := s.Next()
+			if !ok {
+				break
+			}
+			if err := rt.Ingest(op); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			ops++
+		}
+		if err := rt.FlushIngest(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ingestTime := time.Since(start)
+
+		start = time.Now()
+		if err := rt.Verify(); err != nil {
+			fmt.Fprintf(os.Stderr, "night %d: VERIFICATION FAILED: %v\n", night, err)
+			os.Exit(1)
+		}
+		verifyTime := time.Since(start)
+		st := rt.DurableStats()
+		fmt.Printf("night %d: streamed %d ops in %v (staleness %v, commit latency %v), verify %v — verified exact\n",
+			night, ops, ingestTime.Round(time.Millisecond),
+			st.Staleness.Round(time.Microsecond), st.AvgCommitLatency.Round(time.Microsecond),
+			verifyTime.Round(time.Millisecond))
+	}
+	st := rt.DurableStats()
+	fmt.Printf("durable: %d batches, %d fsyncs, %d spills, epoch %d\n",
+		st.WAL.Appends, st.WAL.Syncs, st.Spills, st.Epoch)
+	if err := rt.CloseDurable(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -10,6 +10,7 @@
 //
 //	mvserve -sf 0.002 -pct 4 -readers 8 -cycles 3 -cache 64 -check -partitions 4
 //	mvserve -adapt -sf 0.002 -readers 4 -cycles 3 -seed 11
+//	mvserve -wal-dir -fsync -readers 4 -stream-batches 3
 //
 // -partitions turns on partition-parallel operators for both the refresh
 // writer and every served query (<=1 = sequential operators); answers are
@@ -23,6 +24,12 @@
 // mid-run, the runtime re-selects its materialized set from the observed
 // workload (core.Runtime.Adapt) and hot-swaps it at an epoch boundary, and
 // the run is reported against a static baseline tuned for the initial mix.
+//
+// -wal-dir switches to the durable serving experiment: readers query epoch
+// snapshots while updates stream through the bounded ingest queue and every
+// micro-batch is group-committed to a write-ahead log (in a throwaway
+// directory) before its epochs publish. -fsync extends durability to
+// machine crashes; -stream-batches sizes the update stream.
 package main
 
 import (
@@ -44,7 +51,31 @@ func main() {
 	check := flag.Bool("check", false, "verify sampled answers against step-boundary recomputation")
 	adapt := flag.Bool("adapt", false, "drifting workload with online re-selection, vs a static baseline")
 	seed := flag.Int64("seed", 11, "data and drift seed (with -adapt)")
+	walDir := flag.String("wal-dir", "", "serve over the durable streaming path; WAL lives in this directory")
+	fsync := flag.Bool("fsync", false, "fsync group commits (with -wal-dir)")
+	streamBatches := flag.Int("stream-batches", 3, "update batches streamed during the run (with -wal-dir)")
 	flag.Parse()
+
+	if *walDir != "" {
+		fmt.Printf("generating TPC-D at SF %g and serving %d readers over the durable ingest path…\n",
+			*sf, *readers)
+		r := bench.DurableServe(bench.DurableServeConfig{
+			DurableConfig: bench.DurableConfig{
+				ScaleFactor: *sf, UpdatePct: *pct,
+				StreamBatches: *streamBatches,
+				Fsync:         *fsync,
+				Seed:          *seed, Dir: *walDir,
+			},
+			Readers:     *readers,
+			CacheBudget: *cacheMB * (1 << 20),
+		})
+		fmt.Print(r.Format())
+		if !r.Verified {
+			fmt.Fprintln(os.Stderr, "mvserve: FAILED (diverged views)")
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *adapt {
 		fmt.Printf("generating TPC-D at SF %g and driving a drifting workload over %d readers…\n",

@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/greedy"
+	"repro/internal/ingest"
+	"repro/internal/tpcd"
+)
+
+// DurableRefresh measures the WAL-backed streaming ingest path end to end:
+// update batches stream through the bounded queue, each micro-batch is
+// group-committed to the log (optionally fsynced) before its refresh
+// publishes epochs, and the run reports sustained op throughput alongside
+// the freshness and commit-latency counters. Running it twice — fsync off
+// and on — prices durability: with group commit the fsync run should stay
+// within a small factor of the non-fsync run (the acceptance bar is 2× at a
+// ≥2ms commit window; see EXPERIMENTS.md).
+
+// DurableConfig parameterizes one streaming-ingest run.
+type DurableConfig struct {
+	// ScaleFactor is the TPC-D scale of the generated database.
+	ScaleFactor float64
+	// UpdatePct sizes each streamed batch (percent of each updated
+	// relation).
+	UpdatePct float64
+	// StreamBatches is how many LogUniformUpdates-equivalent batches are
+	// streamed (each flushed before the next samples its delete set).
+	StreamBatches int
+	// Fsync makes group commits durable against machine crashes.
+	Fsync bool
+	// CommitWindow is the group-commit coalescing window (0 = 2ms default).
+	CommitWindow time.Duration
+	// MaxBatchRows / MaxBatchWait bound the refresh micro-batches; these are
+	// the staleness-versus-throughput knobs EXPERIMENTS.md sweeps.
+	MaxBatchRows int
+	MaxBatchWait time.Duration
+	// Seed drives generation and the update streams (0 selects 11).
+	Seed int64
+	// Dir is the WAL directory; empty selects a throwaway temp directory
+	// removed when the run ends.
+	Dir string
+}
+
+// walDir resolves cfg.Dir, creating a throwaway directory when unset; the
+// returned cleanup removes it (a no-op for caller-owned directories).
+func (cfg DurableConfig) walDir(prefix string) (string, func()) {
+	if cfg.Dir != "" {
+		return cfg.Dir, func() {}
+	}
+	dir, err := os.MkdirTemp("", prefix)
+	if err != nil {
+		panic(err)
+	}
+	return dir, func() { os.RemoveAll(dir) }
+}
+
+// DurableResult is the outcome of one DurableRefresh run.
+type DurableResult struct {
+	Cfg DurableConfig
+	// Elapsed covers admission of the first op through the final flush.
+	Elapsed time.Duration
+	// Ops is the number of streamed update operations (rows).
+	Ops int
+	// OpsPerSec is the sustained ingest throughput (rows/s).
+	OpsPerSec float64
+	// Batches is the number of WAL group commits (appended batches).
+	Batches int64
+	// Syncs is the number of fsyncs the group-commit daemon issued.
+	Syncs int64
+	// Staleness is the closing EWMA of enqueue→publish latency.
+	Staleness time.Duration
+	// AvgCommitLatency is the mean sync-barrier wait per appended batch.
+	AvgCommitLatency time.Duration
+	// Epochs is the final published epoch.
+	Epochs int64
+	// Verified is the post-run Runtime.Verify outcome.
+	Verified bool
+}
+
+// DurableRefresh runs the streaming-ingest experiment in a throwaway WAL
+// directory.
+func DurableRefresh(cfg DurableConfig) DurableResult {
+	if cfg.Seed == 0 {
+		cfg.Seed = 11
+	}
+	dir, cleanup := cfg.walDir("mvwal-bench-")
+	defer cleanup()
+
+	updated := []string{"customer", "orders", "lineitem"}
+	cat := tpcd.NewCatalog(cfg.ScaleFactor, true)
+	db := tpcd.Generate(cat, cfg.ScaleFactor, cfg.Seed)
+	sys := core.NewSystem(cat, core.Options{})
+	for _, v := range tpcd.ViewSet5(cat, true) {
+		if _, err := sys.AddView(v.Name, v.Def); err != nil {
+			panic(err)
+		}
+	}
+	plan := sys.OptimizeGreedy(diff.UniformPercent(cat, updated, cfg.UpdatePct), greedy.DefaultConfig())
+	rt, _, err := plan.OpenDurable(db, core.DurableOptions{
+		Dir:          dir,
+		Fsync:        cfg.Fsync,
+		CommitWindow: cfg.CommitWindow,
+		SpillEvery:   -1, // measure the log path, not spill cadence
+		Queue: ingest.Config{
+			MaxBatchRows: cfg.MaxBatchRows,
+			MaxBatchWait: cfg.MaxBatchWait,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := rt.StartIngest(); err != nil {
+		panic(err)
+	}
+
+	ops := 0
+	start := time.Now()
+	for i := 0; i < cfg.StreamBatches; i++ {
+		s := tpcd.NewUpdateStream(cat, rt.Snapshots().Current().Database(),
+			updated, cfg.UpdatePct, cfg.Seed+int64(1000+i))
+		for {
+			op, ok := s.Next()
+			if !ok {
+				break
+			}
+			if err := rt.Ingest(op); err != nil {
+				panic(err)
+			}
+			ops++
+		}
+		if err := rt.FlushIngest(); err != nil {
+			panic(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := rt.DurableStats()
+	out := DurableResult{
+		Cfg: cfg, Elapsed: elapsed, Ops: ops,
+		OpsPerSec:        float64(ops) / elapsed.Seconds(),
+		Batches:          st.WAL.Appends,
+		Syncs:            st.WAL.Syncs,
+		Staleness:        st.Staleness,
+		AvgCommitLatency: st.AvgCommitLatency,
+		Epochs:           st.Epoch,
+		Verified:         rt.Verify() == nil,
+	}
+	if err := rt.CloseDurable(); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Format renders the durable-ingest result.
+func (r DurableResult) Format() string {
+	var b strings.Builder
+	mode := "fsync off"
+	if r.Cfg.Fsync {
+		mode = "fsync on"
+	}
+	fmt.Fprintf(&b, "t-durable — streaming ingest (5 views, SF %g, %g%% batches ×%d, %s)\n",
+		r.Cfg.ScaleFactor, r.Cfg.UpdatePct, r.Cfg.StreamBatches, mode)
+	fmt.Fprintf(&b, "  %d ops in %v — %.0f ops/s over %d group commits (%d fsyncs)\n",
+		r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec, r.Batches, r.Syncs)
+	fmt.Fprintf(&b, "  staleness EWMA %v, commit latency %v, %d epochs published\n",
+		r.Staleness.Round(time.Microsecond), r.AvgCommitLatency.Round(time.Microsecond), r.Epochs)
+	if r.Verified {
+		fmt.Fprintf(&b, "  verified: maintained views equal recomputation\n")
+	} else {
+		fmt.Fprintf(&b, "  VERIFICATION FAILED\n")
+	}
+	return b.String()
+}
+
+// DurableServeConfig parameterizes DurableServe: DurableConfig's streaming
+// knobs plus concurrent readers.
+type DurableServeConfig struct {
+	DurableConfig
+	// Readers is the number of concurrent query goroutines.
+	Readers int
+	// CacheBudget is the serving result-cache size in bytes (0 = default).
+	CacheBudget float64
+}
+
+// DurableServeResult extends the ingest result with serving throughput.
+type DurableServeResult struct {
+	DurableResult
+	// Queries is the number of queries answered across all readers.
+	Queries int64
+	// QPS is the aggregate serving throughput.
+	QPS float64
+}
+
+// DurableServe runs readers against epoch snapshots while the WAL-backed
+// ingest loop streams updates: the serving experiment with durability on the
+// write path. Readers never block on the log — only epoch publication is
+// gated by group commit.
+func DurableServe(cfg DurableServeConfig) DurableServeResult {
+	if cfg.Seed == 0 {
+		cfg.Seed = 11
+	}
+	dir, cleanup := cfg.walDir("mvwal-serve-")
+	defer cleanup()
+
+	updated := []string{"customer", "orders", "lineitem"}
+	cat := tpcd.NewCatalog(cfg.ScaleFactor, true)
+	db := tpcd.Generate(cat, cfg.ScaleFactor, cfg.Seed)
+	sys := core.NewSystem(cat, core.Options{})
+	for _, v := range tpcd.ViewSet5(cat, true) {
+		if _, err := sys.AddView(v.Name, v.Def); err != nil {
+			panic(err)
+		}
+	}
+	plan := sys.OptimizeGreedy(diff.UniformPercent(cat, updated, cfg.UpdatePct), greedy.DefaultConfig())
+	rt, _, err := plan.OpenDurable(db, core.DurableOptions{
+		Dir:          dir,
+		Fsync:        cfg.Fsync,
+		CommitWindow: cfg.CommitWindow,
+		Queue: ingest.Config{
+			MaxBatchRows: cfg.MaxBatchRows,
+			MaxBatchWait: cfg.MaxBatchWait,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	rt.EnableServing(core.ServeOptions{CacheBudget: cfg.CacheBudget})
+	if err := rt.StartIngest(); err != nil {
+		panic(err)
+	}
+
+	queries := DefaultServeQueries()
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	answered := make([]int64, cfg.Readers)
+	for w := 0; w < cfg.Readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !done.Load(); i++ {
+				if _, err := rt.Query(queries[(i+w)%len(queries)]); err != nil {
+					panic(fmt.Sprintf("bench: durable-serve query failed: %v", err))
+				}
+				answered[w]++
+			}
+		}(w)
+	}
+
+	ops := 0
+	start := time.Now()
+	for i := 0; i < cfg.StreamBatches; i++ {
+		s := tpcd.NewUpdateStream(cat, rt.Snapshots().Current().Database(),
+			updated, cfg.UpdatePct, cfg.Seed+int64(1000+i))
+		for {
+			op, ok := s.Next()
+			if !ok {
+				break
+			}
+			if err := rt.Ingest(op); err != nil {
+				panic(err)
+			}
+			ops++
+		}
+		if err := rt.FlushIngest(); err != nil {
+			panic(err)
+		}
+	}
+	elapsed := time.Since(start)
+	done.Store(true)
+	wg.Wait()
+
+	st := rt.DurableStats()
+	out := DurableServeResult{DurableResult: DurableResult{
+		Cfg: cfg.DurableConfig, Elapsed: elapsed, Ops: ops,
+		OpsPerSec:        float64(ops) / elapsed.Seconds(),
+		Batches:          st.WAL.Appends,
+		Syncs:            st.WAL.Syncs,
+		Staleness:        st.Staleness,
+		AvgCommitLatency: st.AvgCommitLatency,
+		Epochs:           st.Epoch,
+		Verified:         rt.Verify() == nil,
+	}}
+	for _, n := range answered {
+		out.Queries += n
+	}
+	out.QPS = float64(out.Queries) / elapsed.Seconds()
+	if err := rt.CloseDurable(); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Format renders the durable-serving result.
+func (r DurableServeResult) Format() string {
+	var b strings.Builder
+	b.WriteString(r.DurableResult.Format())
+	fmt.Fprintf(&b, "  served %d queries — %.0f queries/s concurrent with the durable writer\n",
+		r.Queries, r.QPS)
+	return b.String()
+}

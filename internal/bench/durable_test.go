@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// One small end-to-end run per fsync mode: the stream must arrive fully,
+// verify exactly, and the fsync run must actually sync.
+func TestDurableRefreshSmoke(t *testing.T) {
+	for _, fsync := range []bool{false, true} {
+		r := DurableRefresh(DurableConfig{
+			ScaleFactor: 0.002, UpdatePct: 4, StreamBatches: 2,
+			Fsync: fsync, CommitWindow: 2 * time.Millisecond,
+			MaxBatchRows: 64, MaxBatchWait: time.Millisecond,
+			Seed: 11,
+		})
+		if !r.Verified {
+			t.Fatalf("fsync=%v: maintained views diverged from recomputation", fsync)
+		}
+		if r.Ops == 0 || r.Batches == 0 || r.Epochs == 0 {
+			t.Fatalf("fsync=%v: empty run: %+v", fsync, r)
+		}
+		if fsync && r.Syncs == 0 {
+			t.Fatal("fsync on but no syncs recorded")
+		}
+		if !fsync && r.Syncs != 0 {
+			t.Fatalf("fsync off but %d syncs recorded", r.Syncs)
+		}
+		if !strings.Contains(r.Format(), "ops/s") {
+			t.Fatalf("format incomplete:\n%s", r.Format())
+		}
+	}
+}
+
+// Serving concurrently with the durable writer: queries flow while batches
+// commit, and the post-run verification still holds.
+func TestDurableServeSmoke(t *testing.T) {
+	r := DurableServe(DurableServeConfig{
+		DurableConfig: DurableConfig{
+			ScaleFactor: 0.002, UpdatePct: 4, StreamBatches: 2,
+			MaxBatchRows: 64, MaxBatchWait: time.Millisecond,
+			Seed: 11, Dir: t.TempDir(),
+		},
+		Readers: 2,
+	})
+	if !r.Verified {
+		t.Fatal("maintained views diverged from recomputation")
+	}
+	if r.Queries == 0 || r.QPS <= 0 {
+		t.Fatalf("no queries served: %+v", r)
+	}
+	if !strings.Contains(r.Format(), "queries/s") {
+		t.Fatalf("format incomplete:\n%s", r.Format())
+	}
+}

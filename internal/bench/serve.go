@@ -42,6 +42,10 @@ type ServeConfig struct {
 	CacheBudget float64
 	// Queries is the SQL mix; nil selects DefaultServeQueries.
 	Queries []string
+	// Seed drives data generation and the per-cycle update batches (0
+	// selects 11, the historical default). Two runs with equal configs are
+	// draw-for-draw identical.
+	Seed int64
 	// Check retains every published snapshot and verifies each collected
 	// result against recomputation at its epoch (capped at maxSamples).
 	Check bool
@@ -104,7 +108,10 @@ func ConcurrentServe(cfg ServeConfig) ServeResult {
 	if cfg.Queries == nil {
 		cfg.Queries = DefaultServeQueries()
 	}
-	rt, plan := buildTenViewRuntime(cfg.ScaleFactor, cfg.UpdatePct, 11)
+	if cfg.Seed == 0 {
+		cfg.Seed = 11
+	}
+	rt, plan := buildTenViewRuntime(cfg.ScaleFactor, cfg.UpdatePct, cfg.Seed)
 	rt.SetWorkers(cfg.Workers)
 	rt.SetPartitions(cfg.Partitions)
 	rt.EnableServing(core.ServeOptions{
@@ -150,7 +157,7 @@ func ConcurrentServe(cfg ServeConfig) ServeResult {
 
 	var refreshTotal time.Duration
 	for c := 0; c < cfg.Cycles; c++ {
-		tpcd.LogUniformUpdates(cat, rt.Ex.DB, tpcd.UpdatedRelations(), cfg.UpdatePct, int64(500+c))
+		tpcd.LogUniformUpdates(cat, rt.Ex.DB, tpcd.UpdatedRelations(), cfg.UpdatePct, cfg.Seed+int64(500+c))
 		t0 := time.Now()
 		rt.Refresh()
 		refreshTotal += time.Since(t0)

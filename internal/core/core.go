@@ -344,6 +344,10 @@ type Runtime struct {
 	srvMu sync.Mutex
 	srv   *server
 
+	// dur is the durability state when the runtime was booted through
+	// OpenDurable (durable.go); nil on plain in-memory runtimes.
+	dur *durable
+
 	// tracker observes the served workload (set at EnableServing).
 	tracker *workload.Tracker
 	// retainRetired mirrors ServeOptions.RetainHistory: only then is the

@@ -144,10 +144,18 @@ func (r *Runtime) enableServingLocked(opts ServeOptions) {
 		budget = 0
 	}
 
-	st := storage.NewSnapshotStore()
-	st.RetainHistory(opts.RetainHistory)
-	st.PublishState(r.Ex.DB, r.Ex.Mat) // epoch 0: the initial materialized state
-	r.Mt.Snap = st
+	st := r.Mt.Snap
+	if st == nil {
+		st = storage.NewSnapshotStore()
+		st.RetainHistory(opts.RetainHistory)
+		st.PublishState(r.Ex.DB, r.Ex.Mat) // epoch 0: the initial materialized state
+		r.Mt.Snap = st
+	} else {
+		// A durable runtime already publishes snapshots (OpenDurable seeded
+		// the store with the recovered epoch); serving joins the existing
+		// sequence rather than restarting it at 0.
+		st.RetainHistory(opts.RetainHistory)
+	}
 
 	sd, base, toSys := buildFrontEnd(r.Plan)
 	r.tracker = workload.NewTracker(0)

@@ -71,6 +71,18 @@ func (u *UpdateSpec) Rows(i int) float64 {
 	return u.Del[t]
 }
 
+// Has reports whether a relation is covered by the spec — i.e. whether the
+// maintenance plans know how to propagate its deltas. The streaming
+// admission check uses it to reject ops on unplanned relations.
+func (u *UpdateSpec) Has(rel string) bool {
+	for _, r := range u.Rels {
+		if r == rel {
+			return true
+		}
+	}
+	return false
+}
+
 // InsertNumber returns the update number of the insert batch of a relation,
 // or 0 if the relation is not in the spec.
 func (u *UpdateSpec) InsertNumber(rel string) int {

@@ -1,8 +1,10 @@
 package exec
 
 import (
+	"fmt"
 	"sort"
 
+	"repro/internal/algebra"
 	"repro/internal/dag"
 	"repro/internal/diff"
 	"repro/internal/storage"
@@ -129,6 +131,37 @@ func (ex *Executor) MaterializeNode(e *dag.Equiv) *storage.Relation {
 		ex.Mat[e.ID] = ex.EvalNode(e).ParClone(ex.Par)
 	}
 	return ex.Mat[e.ID]
+}
+
+// ApplyLoggedDelta stages one relation's logged tuple batch into the
+// database's pending δ+ (del=false) or δ− (del=true). It is the single entry
+// point by which both live streaming ingestion and WAL replay feed the
+// differential refresh path — recovery replays exactly the batches the live
+// loop applied, through exactly the same staging, so the two commute. The
+// relation must be covered by the update spec and the tuples must match its
+// schema arity; violations are errors (log contents are external input).
+func (mt *Maintainer) ApplyLoggedDelta(rel string, del bool, rows []algebra.Tuple) error {
+	if !mt.En.U.Has(rel) {
+		return fmt.Errorf("exec: relation %q is not in the update spec", rel)
+	}
+	r := mt.Ex.DB.Relation(rel)
+	if r == nil {
+		return fmt.Errorf("exec: unknown relation %q", rel)
+	}
+	arity := len(r.Schema())
+	for _, t := range rows {
+		if len(t) != arity {
+			return fmt.Errorf("exec: relation %q: tuple arity %d, schema arity %d", rel, len(t), arity)
+		}
+	}
+	for _, t := range rows {
+		if del {
+			mt.Ex.DB.LogDelete(rel, t)
+		} else {
+			mt.Ex.DB.LogInsert(rel, t)
+		}
+	}
+	return nil
 }
 
 // Refresh propagates every pending update through all stored results.

@@ -1,0 +1,193 @@
+// Package ingest provides the bounded streaming update queue that turns
+// refresh into a continuous loop: producers enqueue single-tuple operations,
+// the refresh writer drains them as micro-batches formed by size/time, and
+// when the writer falls behind the bounded buffer pushes back — producers
+// block or shed per policy instead of growing memory without limit.
+package ingest
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algebra"
+)
+
+// Op is one streamed update: insert (Del=false) or delete (Del=true) of one
+// tuple in a base relation.
+type Op struct {
+	Rel   string
+	Del   bool
+	Tuple algebra.Tuple
+}
+
+// Policy says what Enqueue does when the queue is full.
+type Policy int
+
+const (
+	// Block makes Enqueue wait for space: backpressure propagates to the
+	// producer, bounding end-to-end memory.
+	Block Policy = iota
+	// Shed makes Enqueue drop the op and return false, for producers that
+	// prefer losing updates to stalling (the shed count is exposed).
+	Shed
+)
+
+// Config sizes the queue and the micro-batches drained from it.
+type Config struct {
+	// Capacity bounds the queued op count (default 8192). Enqueue never
+	// grows past it: producers block or shed instead.
+	Capacity int
+	// MaxBatchRows caps ops per drained micro-batch (default 2048).
+	MaxBatchRows int
+	// MaxBatchWait caps how long NextBatch lingers for more ops after the
+	// first (default 2ms). Smaller = fresher epochs, more refresh cycles.
+	MaxBatchWait time.Duration
+	// Policy is the full-queue behavior (default Block).
+	Policy Policy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity == 0 {
+		c.Capacity = 8192
+	}
+	if c.MaxBatchRows == 0 {
+		c.MaxBatchRows = 2048
+	}
+	if c.MaxBatchWait == 0 {
+		c.MaxBatchWait = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Stats counts queue activity.
+type Stats struct {
+	// Enqueued is the number of accepted ops.
+	Enqueued int64
+	// Shed is the number of ops dropped by the Shed policy.
+	Shed int64
+	// Depth is the current queued op count.
+	Depth int
+	// Capacity echoes the configured bound.
+	Capacity int
+}
+
+// item timestamps an op at admission, for staleness accounting downstream.
+type item struct {
+	op Op
+	at time.Time
+}
+
+// Queue is the bounded op buffer between producers and the refresh writer.
+// Any number of goroutines may Enqueue; one consumer calls NextBatch.
+type Queue struct {
+	cfg      Config
+	ch       chan item
+	done     chan struct{}
+	enqueued atomic.Int64
+	shed     atomic.Int64
+	closed   atomic.Bool
+}
+
+// NewQueue builds a queue.
+func NewQueue(cfg Config) *Queue {
+	cfg = cfg.withDefaults()
+	return &Queue{cfg: cfg, ch: make(chan item, cfg.Capacity), done: make(chan struct{})}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (q *Queue) Config() Config { return q.cfg }
+
+// Enqueue admits one op, reporting whether it was accepted. Under Block it
+// waits for space (returning false only once the queue is closed); under
+// Shed it drops immediately when full.
+func (q *Queue) Enqueue(op Op) bool {
+	// Checked up front AND raced below: the select picks uniformly among
+	// ready cases, so with free buffer space the send could win against
+	// <-q.done after Close without this guard.
+	if q.closed.Load() {
+		return false
+	}
+	it := item{op: op, at: time.Now()}
+	if q.cfg.Policy == Shed {
+		select {
+		case q.ch <- it:
+			q.enqueued.Add(1)
+			return true
+		case <-q.done:
+			return false
+		default:
+			q.shed.Add(1)
+			return false
+		}
+	}
+	select {
+	case q.ch <- it:
+		q.enqueued.Add(1)
+		return true
+	case <-q.done:
+		return false
+	}
+}
+
+// Close stops admission and unblocks producers. NextBatch keeps draining
+// what is already queued, then reports exhaustion.
+func (q *Queue) Close() {
+	if q.closed.CompareAndSwap(false, true) {
+		close(q.done)
+	}
+}
+
+// Depth returns the current queued op count.
+func (q *Queue) Depth() int { return len(q.ch) }
+
+// Stats returns a copy of the counters.
+func (q *Queue) Stats() Stats {
+	return Stats{
+		Enqueued: q.enqueued.Load(),
+		Shed:     q.shed.Load(),
+		Depth:    len(q.ch),
+		Capacity: q.cfg.Capacity,
+	}
+}
+
+// NextBatch blocks for the first available op, then collects more until
+// MaxBatchRows ops are gathered or MaxBatchWait elapses, whichever is first.
+// oldest is the admission time of the batch's oldest op (the staleness
+// anchor). ok is false only when the queue is closed and fully drained.
+func (q *Queue) NextBatch() (ops []Op, oldest time.Time, ok bool) {
+	var first item
+	select {
+	case first = <-q.ch:
+	case <-q.done:
+		// Closed: drain leftovers without waiting.
+		select {
+		case first = <-q.ch:
+		default:
+			return nil, time.Time{}, false
+		}
+	}
+	ops = append(ops, first.op)
+	oldest = first.at
+
+	timer := time.NewTimer(q.cfg.MaxBatchWait)
+	defer timer.Stop()
+	for len(ops) < q.cfg.MaxBatchRows {
+		select {
+		case it := <-q.ch:
+			ops = append(ops, it.op)
+		case <-timer.C:
+			return ops, oldest, true
+		case <-q.done:
+			for len(ops) < q.cfg.MaxBatchRows {
+				select {
+				case it := <-q.ch:
+					ops = append(ops, it.op)
+				default:
+					return ops, oldest, true
+				}
+			}
+			return ops, oldest, true
+		}
+	}
+	return ops, oldest, true
+}

@@ -1,0 +1,125 @@
+package ingest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+)
+
+func op(i int) Op {
+	return Op{Rel: "r", Tuple: algebra.Tuple{algebra.NewInt(int64(i))}}
+}
+
+// The queue never holds more than Capacity ops: with no consumer, a Block
+// producer must stop at the bound and a Shed producer must drop past it.
+func TestQueueBoundsDepth(t *testing.T) {
+	q := NewQueue(Config{Capacity: 8, Policy: Shed})
+	for i := 0; i < 50; i++ {
+		q.Enqueue(op(i))
+	}
+	if d := q.Depth(); d != 8 {
+		t.Fatalf("depth %d, want 8", d)
+	}
+	st := q.Stats()
+	if st.Enqueued != 8 || st.Shed != 42 {
+		t.Fatalf("enqueued %d shed %d, want 8/42", st.Enqueued, st.Shed)
+	}
+	if st.Capacity != 8 {
+		t.Fatalf("capacity %d, want 8", st.Capacity)
+	}
+}
+
+// A Block producer parks when the queue is full and resumes as soon as the
+// consumer drains a batch; nothing is ever dropped.
+func TestBlockPolicyBackpressure(t *testing.T) {
+	q := NewQueue(Config{Capacity: 4, MaxBatchRows: 4, MaxBatchWait: time.Millisecond, Policy: Block})
+	const total = 32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			if !q.Enqueue(op(i)) {
+				t.Errorf("enqueue %d rejected under Block policy", i)
+				return
+			}
+		}
+	}()
+
+	got := 0
+	for got < total {
+		if d := q.Depth(); d > 4 {
+			t.Fatalf("depth %d exceeds capacity 4", d)
+		}
+		ops, _, ok := q.NextBatch()
+		if !ok {
+			t.Fatal("queue reported closed")
+		}
+		got += len(ops)
+	}
+	<-done
+	if st := q.Stats(); st.Shed != 0 || st.Enqueued != total {
+		t.Fatalf("stats %+v, want %d enqueued and 0 shed", st, total)
+	}
+}
+
+// Micro-batch formation: a full queue yields MaxBatchRows-sized batches; a
+// trickle is cut by MaxBatchWait instead of waiting for the size cap.
+func TestNextBatchSizeAndTimeCuts(t *testing.T) {
+	q := NewQueue(Config{Capacity: 64, MaxBatchRows: 8, MaxBatchWait: time.Hour})
+	for i := 0; i < 20; i++ {
+		q.Enqueue(op(i))
+	}
+	ops, oldest, ok := q.NextBatch()
+	if !ok || len(ops) != 8 {
+		t.Fatalf("got %d ops (ok=%v), want size-capped batch of 8", len(ops), ok)
+	}
+	if oldest.IsZero() {
+		t.Fatal("oldest timestamp not set")
+	}
+
+	qt := NewQueue(Config{Capacity: 64, MaxBatchRows: 1024, MaxBatchWait: 5 * time.Millisecond})
+	qt.Enqueue(op(0))
+	start := time.Now()
+	ops, _, ok = qt.NextBatch()
+	if !ok || len(ops) != 1 {
+		t.Fatalf("got %d ops (ok=%v), want time-cut batch of 1", len(ops), ok)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("time cut did not fire")
+	}
+}
+
+// Close drains: ops enqueued before Close are still delivered, then NextBatch
+// reports !ok, and Enqueue rejects.
+func TestCloseDrainsThenStops(t *testing.T) {
+	q := NewQueue(Config{Capacity: 16, MaxBatchRows: 100, MaxBatchWait: time.Millisecond})
+	for i := 0; i < 5; i++ {
+		q.Enqueue(op(i))
+	}
+	q.Close()
+	if q.Enqueue(op(99)) {
+		t.Fatal("enqueue accepted after Close")
+	}
+	ops, _, ok := q.NextBatch()
+	if !ok || len(ops) != 5 {
+		t.Fatalf("drain got %d ops (ok=%v), want 5", len(ops), ok)
+	}
+	if _, _, ok := q.NextBatch(); ok {
+		t.Fatal("NextBatch ok after drain of closed queue")
+	}
+	// Blocked consumers wake on Close too.
+	q2 := NewQueue(Config{Capacity: 4})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, ok := q2.NextBatch(); ok {
+			t.Error("NextBatch ok on closed empty queue")
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	q2.Close()
+	wg.Wait()
+}

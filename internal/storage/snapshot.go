@@ -75,6 +75,7 @@ type SnapshotStore struct {
 
 	mu     sync.Mutex
 	retain bool
+	base   int64
 	hist   []*Snapshot
 }
 
@@ -85,6 +86,19 @@ func NewSnapshotStore() *SnapshotStore { return &SnapshotStore{} }
 // Current returns the most recently published snapshot, or nil. Safe from
 // any goroutine.
 func (st *SnapshotStore) Current() *Snapshot { return st.cur.Load() }
+
+// StartAt seeds the epoch numbering: the first PublishState publishes this
+// epoch instead of 0. The recovery boot path uses it so the re-published
+// recovered state carries the same epoch it had before the crash, and replay
+// then counts on from there. Must be called before the first PublishState.
+func (st *SnapshotStore) StartAt(epoch int64) {
+	if st.cur.Load() != nil {
+		panic("storage: StartAt after first publish")
+	}
+	st.mu.Lock()
+	st.base = epoch
+	st.mu.Unlock()
+}
 
 // RetainHistory makes the store keep every snapshot it publishes, so tests
 // can check results against the exact state of any step boundary. Retention
@@ -136,6 +150,10 @@ func (st *SnapshotStore) PublishState(db *Database, mats map[int]*Relation) *Sna
 	s.db = &Database{relations: s.rels, deltas: make(map[string]*Delta)}
 	if prev := st.cur.Load(); prev != nil {
 		s.epoch = prev.epoch + 1
+	} else {
+		st.mu.Lock()
+		s.epoch = st.base
+		st.mu.Unlock()
 	}
 	st.mu.Lock()
 	if st.retain {

@@ -85,6 +85,21 @@ func (r *Relation) InsertAll(o *Relation) {
 	r.invalidate()
 }
 
+// ReplaceRows swaps the relation's contents wholesale, dropping any cached
+// partition view. The recovery boot path uses it to install spilled rows
+// (which must match the schema arity — checked once) into freshly created
+// relations; the given slice is adopted, not copied.
+func (r *Relation) ReplaceRows(rows []algebra.Tuple) {
+	for _, t := range rows {
+		if len(t) != len(r.schema) {
+			panic(fmt.Sprintf("storage: tuple arity %d does not match schema arity %d",
+				len(t), len(r.schema)))
+		}
+	}
+	r.rows = rows
+	r.invalidate()
+}
+
 // Clone returns a deep copy.
 func (r *Relation) Clone() *Relation {
 	out := NewRelation(r.schema)

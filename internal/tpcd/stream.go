@@ -1,0 +1,106 @@
+package tpcd
+
+import (
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/ingest"
+	"repro/internal/storage"
+)
+
+// UpdateStream emits the exact op sequence of one LogUniformUpdates batch —
+// per relation, nIns fresh-key inserts then nDel deletes of existing rows —
+// one op at a time, so a producer can feed the bounded ingest queue instead
+// of staging a pre-built batch. Draw-for-draw identical to
+// LogUniformUpdates(cat, db, rels, pct, seed) over the same database state:
+// the same rng consumption order, the same fresh-key range, the same delete
+// sampling (see TestUpdateStreamMatchesLogUniform).
+//
+// The database must not change while the stream is drained — hand it a
+// snapshot's database (storage.Snapshot.Database()) when refreshes run
+// concurrently; its relations are immutable, so delete candidates stay
+// valid however far the live state has moved on.
+type UpdateStream struct {
+	cat  *catalog.Catalog
+	db   *storage.Database
+	rels []string
+	pct  float64
+
+	rng     *rand.Rand
+	nextKey int64
+
+	relIdx  int
+	cur     *storage.Relation
+	nIns    int
+	insDone int
+	nDel    int
+	delDone int
+	perm    []int
+}
+
+// NewUpdateStream starts a streaming update batch. Distinct batches over one
+// database must use distinct seeds (fresh-key ranges are per-seed, exactly
+// as in LogUniformUpdates).
+func NewUpdateStream(cat *catalog.Catalog, db *storage.Database, rels []string, pct float64, seed int64) *UpdateStream {
+	s := &UpdateStream{
+		cat: cat, db: db, rels: rels, pct: pct,
+		rng:     rand.New(rand.NewSource(seed)),
+		nextKey: syntheticKeyBase(seed),
+		relIdx:  -1,
+	}
+	s.advanceRel()
+	return s
+}
+
+// advanceRel enters the next relation's insert phase.
+func (s *UpdateStream) advanceRel() {
+	s.relIdx++
+	if s.relIdx >= len(s.rels) {
+		s.cur = nil
+		return
+	}
+	s.cur = s.db.MustRelation(s.rels[s.relIdx])
+	s.nIns = int(float64(s.cur.Len()) * s.pct / 100)
+	s.nDel = s.nIns / 2
+	s.insDone, s.delDone, s.perm = 0, 0, nil
+}
+
+// Next returns the next op of the batch; ok is false once the batch is
+// exhausted.
+func (s *UpdateStream) Next() (op ingest.Op, ok bool) {
+	for s.cur != nil {
+		name := s.rels[s.relIdx]
+		if s.insDone < s.nIns {
+			s.insDone++
+			return ingest.Op{Rel: name, Tuple: synthesizeRow(s.cat, name, s.rng, &s.nextKey)}, true
+		}
+		if s.perm == nil {
+			// LogUniformUpdates draws the permutation after the relation's
+			// inserts even when nDel ends up 0; consume the rng identically.
+			s.perm = s.rng.Perm(s.cur.Len())
+			if s.nDel > s.cur.Len() {
+				s.nDel = s.cur.Len()
+			}
+		}
+		if s.delDone < s.nDel {
+			t := s.cur.Rows()[s.perm[s.delDone]].Clone()
+			s.delDone++
+			return ingest.Op{Rel: name, Del: true, Tuple: t}, true
+		}
+		s.advanceRel()
+	}
+	return ingest.Op{}, false
+}
+
+// Remaining returns how many ops the stream has left.
+func (s *UpdateStream) Remaining() int {
+	if s.cur == nil {
+		return 0
+	}
+	n := (s.nIns - s.insDone) + (s.nDel - s.delDone)
+	for i := s.relIdx + 1; i < len(s.rels); i++ {
+		ni := int(float64(s.db.MustRelation(s.rels[i]).Len()) * s.pct / 100)
+		n += ni + ni/2
+	}
+	return n
+}

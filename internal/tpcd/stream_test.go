@@ -1,0 +1,67 @@
+package tpcd
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The streaming generator must be draw-for-draw identical to the staged
+// batch generator: the ops UpdateStream emits, partitioned into inserts and
+// deletes per relation, must equal the δ+/δ− LogUniformUpdates stages on an
+// identical database with the same seed — byte-identical tuples in the same
+// order. This is what lets the durable ingest path and the staged refresh
+// path be compared against each other at all.
+func TestUpdateStreamMatchesLogUniform(t *testing.T) {
+	const sf, pct = 0.002, 5.0
+	rels := []string{"customer", "orders", "lineitem"}
+	for _, seed := range []int64{3, 77, 1234} {
+		cat := NewCatalog(sf, true)
+		staged := Generate(cat, sf, 9)
+		LogUniformUpdates(cat, staged, rels, pct, seed)
+
+		streamed := Generate(cat, sf, 9) // identical contents, unmutated
+		s := NewUpdateStream(cat, streamed, rels, pct, seed)
+		ins := map[string][]interface{}{}
+		del := map[string][]interface{}{}
+		n := 0
+		for {
+			op, ok := s.Next()
+			if !ok {
+				break
+			}
+			if op.Del {
+				del[op.Rel] = append(del[op.Rel], op.Tuple)
+			} else {
+				ins[op.Rel] = append(ins[op.Rel], op.Tuple)
+			}
+			n++
+			if rem := s.Remaining(); rem < 0 {
+				t.Fatalf("seed %d: negative Remaining %d", seed, rem)
+			}
+		}
+		if n == 0 {
+			t.Fatalf("seed %d: stream produced no ops", seed)
+		}
+
+		for _, name := range rels {
+			d := staged.Delta(name)
+			if got, want := len(ins[name]), d.Plus.Len(); got != want {
+				t.Fatalf("seed %d %s: %d streamed inserts, want %d", seed, name, got, want)
+			}
+			for i, row := range d.Plus.Rows() {
+				if !reflect.DeepEqual(ins[name][i], row) {
+					t.Fatalf("seed %d %s: insert %d differs:\ngot  %v\nwant %v",
+						seed, name, i, ins[name][i], row)
+				}
+			}
+			if got, want := len(del[name]), d.Minus.Len(); got != want {
+				t.Fatalf("seed %d %s: %d streamed deletes, want %d", seed, name, got, want)
+			}
+			for i, row := range d.Minus.Rows() {
+				if !reflect.DeepEqual(del[name][i], row) {
+					t.Fatalf("seed %d %s: delete %d differs", seed, name, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command gencorpus regenerates the checked-in seed corpus for FuzzWALDecode
+// (internal/wal/testdata/fuzz/FuzzWALDecode). Run it with the corpus
+// directory as the only argument after changing the WAL wire format, so the
+// seeds keep exercising the current framing.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/algebra"
+	"repro/internal/wal"
+)
+
+func write(dir, name string, data []byte) {
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		panic(err)
+	}
+}
+
+func main() {
+	dir := os.Args[1]
+	d1 := &wal.DeltaRec{Seq: 7, Rel: "store_sales", Rows: []algebra.Tuple{
+		{algebra.NewInt(101), algebra.NewFloat(9.75), algebra.NewString("ab"), algebra.NewDate(2451)},
+		{algebra.NewInt(-3), algebra.NewFloat(0), algebra.NewString(""), algebra.NewDate(0)},
+	}}
+	d2 := &wal.DeltaRec{Seq: 7, Rel: "store_sales", Del: true, Rows: []algebra.Tuple{
+		{algebra.NewInt(55), algebra.NewFloat(1.5), algebra.NewString("zz"), algebra.NewDate(1)},
+	}}
+	var valid []byte
+	valid = wal.AppendFrame(valid, wal.EncodeDelta(d1))
+	valid = wal.AppendFrame(valid, wal.EncodeDelta(d2))
+	valid = wal.AppendFrame(valid, wal.EncodeCommit(&wal.CommitRec{Seq: 7, Epoch: 42}))
+	write(dir, "valid_batch", valid)
+	write(dir, "torn_tail", valid[:len(valid)-5])
+	flip := append([]byte(nil), valid...)
+	flip[9] ^= 0xff
+	write(dir, "flipped_byte", flip)
+	write(dir, "commit_only", wal.AppendFrame(nil, wal.EncodeCommit(&wal.CommitRec{Seq: 1, Epoch: 2})))
+	write(dir, "delta_payload", wal.EncodeDelta(&wal.DeltaRec{Seq: 1, Rel: "r", Rows: []algebra.Tuple{{algebra.NewString("x")}}}))
+	write(dir, "huge_len_header", []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	write(dir, "empty", nil)
+}

@@ -1,0 +1,105 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// manifestName is the recovery-root file inside a WAL directory.
+const manifestName = "MANIFEST"
+
+// Manifest records the recovery root: which snapshot spill to load and from
+// which segment replay must resume. It is rewritten atomically (temp file +
+// rename + directory fsync) after every successful spill, so a crash leaves
+// either the old manifest or the new one, both of which name a consistent
+// (spill, segment set) pair.
+type Manifest struct {
+	// Version guards the on-disk format.
+	Version int `json:"version"`
+	// Snapshot is the spill file name holding the state at SnapshotBatch.
+	Snapshot string `json:"snapshot"`
+	// SnapshotBatch is the last batch folded into the spill; replay resumes
+	// at SnapshotBatch+1.
+	SnapshotBatch int64 `json:"snapshot_batch"`
+	// SnapshotEpoch is the snapshot epoch the spill state was published at —
+	// the last durable epoch of the spill.
+	SnapshotEpoch int64 `json:"snapshot_epoch"`
+	// KeepFromSegment is the first segment still needed for replay; earlier
+	// segments are prunable.
+	KeepFromSegment int64 `json:"keep_from_segment"`
+}
+
+// manifestVersion is the current format.
+const manifestVersion = 1
+
+// ReadManifest loads the manifest, returning (nil, nil) when the directory
+// has none (a fresh or never-spilled log).
+func ReadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(b, m); err != nil {
+		return nil, fmt.Errorf("wal: corrupt manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("wal: manifest version %d not supported", m.Version)
+	}
+	return m, nil
+}
+
+// WriteManifest atomically replaces the manifest.
+func WriteManifest(dir string, m *Manifest) error {
+	m.Version = manifestVersion
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// Prune removes segments below the manifest's replay horizon and spill files
+// other than the manifest's. Best-effort: removal errors are ignored (a
+// leftover file only costs disk; the next prune retries).
+func Prune(dir string, m *Manifest) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if seq := segSeqOf(name); seq >= 0 && seq < m.KeepFromSegment {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if strings.HasSuffix(name, ".snap") && name != m.Snapshot {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}

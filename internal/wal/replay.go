@@ -1,0 +1,205 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Recovered is what Open found on disk: the manifest (nil on a fresh
+// directory) and every complete batch past the manifest's snapshot, in
+// sequence order, ready to replay through the refresh path.
+type Recovered struct {
+	Manifest *Manifest
+	Batches  []*Batch
+}
+
+// Open opens (or initializes) a WAL directory and returns the append log
+// plus what recovery must do. On a fresh directory — no manifest — any stray
+// files are cleared and an empty log is created. Otherwise the segments past
+// the manifest's horizon are scanned: complete batches are returned for
+// replay, and a torn tail (a crash mid-group-commit) is truncated off the
+// last segment so half-written batches can never be half-applied. Appends
+// always start a fresh segment, leaving recovered segments immutable.
+func Open(dir string, opt Options) (*Log, *Recovered, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &Recovered{Manifest: m}
+	var nextSegSeq int64 = 1
+	if m == nil {
+		// Fresh directory. A crash between segment creation and the initial
+		// manifest write can leave stray files; without a manifest nothing in
+		// them is recoverable state, so clear and start over.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, e := range entries {
+			if segSeqOf(e.Name()) >= 0 || filepath.Ext(e.Name()) == ".snap" || filepath.Ext(e.Name()) == ".tmp" {
+				if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	} else {
+		batches, maxSeg, err := scanSegments(dir, m.KeepFromSegment, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, b := range batches {
+			if b.Seq > m.SnapshotBatch {
+				rec.Batches = append(rec.Batches, b)
+			}
+		}
+		for i, b := range rec.Batches {
+			if want := m.SnapshotBatch + int64(i) + 1; b.Seq != want {
+				return nil, nil, fmt.Errorf("wal: batch sequence gap: want %d, log has %d", want, b.Seq)
+			}
+		}
+		if maxSeg >= nextSegSeq {
+			nextSegSeq = maxSeg + 1
+		}
+	}
+	f, err := openSegment(dir, nextSegSeq)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, opt: opt, f: f, segSeq: nextSegSeq, done: make(chan struct{})}
+	l.cond = sync.NewCond(&l.mu)
+	go l.daemon()
+	return l, rec, nil
+}
+
+// ScanBatches is the read-only scan: every complete batch with Seq >
+// afterSeq present in the directory, tolerating (but not repairing) a torn
+// tail. Verification tools use it to replay the full durable history.
+func ScanBatches(dir string, afterSeq int64) ([]*Batch, error) {
+	batches, _, err := scanSegments(dir, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	out := batches[:0]
+	for _, b := range batches {
+		if b.Seq > afterSeq {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// scanSegments reads every segment with sequence ≥ keepFrom in order and
+// decodes the batch stream. A decode failure or a trailing commit-less batch
+// in the *last* segment is a torn tail: scanning stops at the last complete
+// batch, and with repair set the segment is truncated back to that boundary
+// (then removed if empty). The same conditions mid-log are corruption and
+// fail the scan. Returns the batches and the highest segment sequence seen.
+func scanSegments(dir string, keepFrom int64, repair bool) ([]*Batch, int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var segs []int64
+	for _, e := range entries {
+		if seq := segSeqOf(e.Name()); seq >= 0 {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	var maxSeg int64
+	if n := len(segs); n > 0 {
+		maxSeg = segs[n-1]
+	}
+
+	var batches []*Batch
+	for si, seq := range segs {
+		if seq < keepFrom {
+			continue
+		}
+		last := si == len(segs)-1
+		path := filepath.Join(dir, segName(seq))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		segBatches, goodOff, tornErr := decodeSegment(data)
+		batches = append(batches, segBatches...)
+		if tornErr != nil && !last {
+			return nil, 0, fmt.Errorf("wal: segment %d corrupt mid-log: %w", seq, tornErr)
+		}
+		if tornErr != nil && repair {
+			if err := truncateSegment(dir, path, int64(goodOff)); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return batches, maxSeg, nil
+}
+
+// decodeSegment parses one segment's frame stream into complete batches.
+// goodOff is the byte offset just past the last complete batch; tornErr
+// reports why decoding stopped early (frame corruption, truncation, or
+// trailing deltas with no commit), nil for a clean segment.
+func decodeSegment(data []byte) (batches []*Batch, goodOff int, tornErr error) {
+	var pending []DeltaRec
+	off := 0
+	b := data
+	for len(b) > 0 {
+		payload, rest, n, err := NextFrame(b)
+		if err != nil {
+			return batches, goodOff, err
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return batches, goodOff, err
+		}
+		switch r := rec.(type) {
+		case *DeltaRec:
+			pending = append(pending, *r)
+		case *CommitRec:
+			batch := &Batch{Seq: r.Seq, Epoch: r.Epoch, Deltas: pending}
+			for i := range batch.Deltas {
+				if batch.Deltas[i].Seq != r.Seq {
+					return batches, goodOff, fmt.Errorf(
+						"wal: delta batch %d closed by commit %d", batch.Deltas[i].Seq, r.Seq)
+				}
+			}
+			batches = append(batches, batch)
+			pending = nil
+			goodOff = off + n
+		}
+		b = rest
+		off += n
+	}
+	if len(pending) > 0 {
+		return batches, goodOff, fmt.Errorf("wal: %d delta records with no commit", len(pending))
+	}
+	return batches, goodOff, nil
+}
+
+// truncateSegment discards a torn tail, making the cut durable. A segment
+// left empty is removed outright.
+func truncateSegment(dir, path string, goodOff int64) error {
+	if goodOff == 0 {
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		return syncDir(dir)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(goodOff); err != nil {
+		return err
+	}
+	return f.Sync()
+}

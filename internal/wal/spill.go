@@ -1,0 +1,208 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/algebra"
+)
+
+// Snapshot spill: a serialized image of one published storage.Snapshot —
+// every base relation plus the maintained rows of every non-aggregate
+// derived result — written by a background goroutine while the ingest loop
+// keeps running (the snapshot is immutable, so serialization reads race
+// nothing). Aggregate results are deliberately absent: their merge state
+// (AggTable) is rebuilt from the recovered bases at boot, because their row
+// order is map-iteration order and so not a stable byte contract; see the
+// recovery invariant in ARCHITECTURE.md.
+
+// spillMagic heads every spill file.
+var spillMagic = []byte("MVSPILL1")
+
+// Spill is the decoded form of one spill file.
+type Spill struct {
+	// Batch is the last ingest batch folded into this state.
+	Batch int64
+	// Epoch is the snapshot epoch the state was published at.
+	Epoch int64
+	// Rels maps base relation name → rows, in maintained order.
+	Rels map[string][]algebra.Tuple
+	// Mats maps equivalence-node ID → maintained rows for every
+	// non-aggregate, non-table materialized result.
+	Mats map[int][]algebra.Tuple
+}
+
+// SpillName formats the spill file name for a batch.
+func SpillName(batch int64) string { return fmt.Sprintf("snap-%016d.snap", batch) }
+
+// WriteSpill serializes sp into dir atomically (temp + rename + dir fsync)
+// and returns the file name. The tuple slices are only read, so callers may
+// hand over live snapshot rows.
+func WriteSpill(dir string, sp *Spill) (string, error) {
+	payload := encodeSpill(sp)
+	out := make([]byte, 0, len(spillMagic)+len(payload)+8)
+	out = append(out, spillMagic...)
+	out = AppendFrame(out, payload)
+
+	name := SpillName(sp.Batch)
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(out); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return "", err
+	}
+	return name, syncDir(dir)
+}
+
+// ReadSpill loads and verifies one spill file.
+func ReadSpill(dir, name string) (*Spill, error) {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(spillMagic) || string(data[:len(spillMagic)]) != string(spillMagic) {
+		return nil, fmt.Errorf("wal: %s is not a spill file", name)
+	}
+	payload, rest, _, err := NextFrame(data[len(spillMagic):])
+	if err != nil {
+		return nil, fmt.Errorf("wal: spill %s: %w", name, err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wal: spill %s: %d trailing bytes", name, len(rest))
+	}
+	sp, err := decodeSpill(payload)
+	if err != nil {
+		return nil, fmt.Errorf("wal: spill %s: %w", name, err)
+	}
+	return sp, nil
+}
+
+func encodeSpill(sp *Spill) []byte {
+	b := make([]byte, 0, 1<<16)
+	b = appendUvarint(b, uint64(sp.Batch))
+	b = appendUvarint(b, uint64(sp.Epoch))
+
+	names := make([]string, 0, len(sp.Rels))
+	for n := range sp.Rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b = appendUvarint(b, uint64(len(names)))
+	for _, n := range names {
+		b = appendUvarint(b, uint64(len(n)))
+		b = append(b, n...)
+		b = appendRows(b, sp.Rels[n])
+	}
+
+	ids := make([]int, 0, len(sp.Mats))
+	for id := range sp.Mats {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	b = appendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = appendUvarint(b, uint64(id))
+		b = appendRows(b, sp.Mats[id])
+	}
+	return b
+}
+
+func decodeSpill(b []byte) (*Spill, error) {
+	sp := &Spill{Rels: map[string][]algebra.Tuple{}, Mats: map[int][]algebra.Tuple{}}
+	batch, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	sp.Batch = int64(batch)
+	epoch, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	sp.Epoch = int64(epoch)
+
+	nrels, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nrels; i++ {
+		nameLen, rest, err := decodeUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(rest)) < nameLen {
+			return nil, fmt.Errorf("truncated relation name")
+		}
+		name := string(rest[:nameLen])
+		var rows []algebra.Tuple
+		rows, b, err = decodeRows(rest[nameLen:])
+		if err != nil {
+			return nil, fmt.Errorf("relation %s: %w", name, err)
+		}
+		sp.Rels[name] = rows
+	}
+
+	nmats, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nmats; i++ {
+		id, rest, err := decodeUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		var rows []algebra.Tuple
+		rows, b, err = decodeRows(rest)
+		if err != nil {
+			return nil, fmt.Errorf("mat e%d: %w", id, err)
+		}
+		sp.Mats[int(id)] = rows
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", len(b))
+	}
+	return sp, nil
+}
+
+func appendRows(b []byte, rows []algebra.Tuple) []byte {
+	b = appendUvarint(b, uint64(len(rows)))
+	for _, t := range rows {
+		b = AppendTuple(b, t)
+	}
+	return b
+}
+
+func decodeRows(b []byte) ([]algebra.Tuple, []byte, error) {
+	n, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	capRows := n
+	if capRows > uint64(len(b)) {
+		capRows = uint64(len(b))
+	}
+	rows := make([]algebra.Tuple, 0, capRows)
+	for i := uint64(0); i < n; i++ {
+		var t algebra.Tuple
+		t, b, err = DecodeTuple(b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		rows = append(rows, t)
+	}
+	return rows, b, nil
+}

@@ -162,10 +162,16 @@ func durableNights(plan *core.MaintenancePlan, db *storage.Database, cat *catalo
 		os.Exit(1)
 	}
 
-	base := rt.DurableStats().LastBatch
 	for night := 1; night <= f.nights; night++ {
+		// Seed each night's stream from the published epoch: epochs advance
+		// with every applied micro-batch and are persisted in the manifest,
+		// so no re-run over this directory can reuse a seed an earlier run
+		// already generated fresh-key inserts with. (A LastBatch-derived
+		// base could collide across runs when a run produces fewer
+		// micro-batches than nights.) The +1 keeps the fresh-boot night off
+		// the base generator's seed.
 		s := tpcd.NewUpdateStream(cat, rt.Snapshots().Current().Database(),
-			updated, f.pct, f.seed+base+int64(night))
+			updated, f.pct, f.seed+1+rt.DurableStats().Epoch)
 		start := time.Now()
 		ops := 0
 		for {

@@ -121,7 +121,9 @@ func AdaptiveServe(cfg AdaptiveConfig) AdaptiveResult {
 	rt.SetPartitions(cfg.Partitions)
 	rt.EnableServing(core.ServeOptions{CacheBudget: cfg.CacheBudget, RetainHistory: cfg.Check})
 	if cfg.Adaptive {
-		rt.EnableAdapt(core.AdaptOptions{EveryCycles: 1, Sync: true, TopQueries: 8})
+		if err := rt.EnableAdapt(core.AdaptOptions{EveryCycles: 1, Sync: true, TopQueries: 8}); err != nil {
+			panic(err)
+		}
 	}
 
 	// Per-phase weighted round-robin schedules: each query index repeated

@@ -35,6 +35,7 @@ package core
 // re-selection and hot swap".
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -179,18 +180,31 @@ type retirement struct {
 	rels  []*storage.Relation
 }
 
+// errAdaptDurable: adaptation changes the materialized set at runtime, but
+// recovery reconstructs the plan from the registered views, update spec and
+// optimizer configuration alone — an adapted plan cannot be rebuilt, so a
+// WAL directory written under adaptation would be unrecoverable. Rejected up
+// front rather than discovered at the next recovery.
+var errAdaptDurable = errors.New(
+	"core: adaptive re-selection is not supported on a durable (WAL-backed) runtime: an adapted plan cannot be reconstructed at recovery")
+
 // EnableAdapt switches on automatic adaptation rounds: after every
 // opts.EveryCycles refresh cycles, a re-selection is built (inline or in the
 // background, per opts.Sync) and installed at the following epoch boundary.
 // Serving is enabled with defaults if it is not already; call EnableServing
 // first to control its options. Idempotent in the sense that the latest
-// options win.
-func (r *Runtime) EnableAdapt(opts AdaptOptions) {
+// options win. Durable runtimes (OpenDurable) are rejected — see
+// errAdaptDurable.
+func (r *Runtime) EnableAdapt(opts AdaptOptions) error {
+	if r.dur != nil {
+		return errAdaptDurable
+	}
 	r.EnableServing(ServeOptions{})
 	o := opts.withDefaults()
 	r.adaptMu.Lock()
 	r.adaptOpts = &o
 	r.adaptMu.Unlock()
+	return nil
 }
 
 // AdaptStats returns a copy of the adaptation counters.
@@ -273,6 +287,9 @@ func (r *Runtime) Adapt() (*AdaptResult, error) {
 }
 
 func (r *Runtime) adaptRound() (*AdaptResult, error) {
+	if r.dur != nil {
+		return nil, errAdaptDurable
+	}
 	if r.serverIfEnabled() == nil || r.Mt.Snap == nil {
 		return nil, fmt.Errorf("core: enable serving before Adapt")
 	}

@@ -175,7 +175,9 @@ func TestStaleSwapIsDiscarded(t *testing.T) {
 func TestEnableAdaptBackgroundRounds(t *testing.T) {
 	rt := buildServingRuntime(t, 0.002, 4)
 	rt.EnableServing(ServeOptions{})
-	rt.EnableAdapt(AdaptOptions{EveryCycles: 1})
+	if err := rt.EnableAdapt(AdaptOptions{EveryCycles: 1}); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 40; i++ {
 		if _, err := rt.Query(hotDriftQuery); err != nil {
 			t.Fatal(err)

@@ -15,9 +15,11 @@ package core
 //
 // Limitation: recovery reconstructs the maintenance plan from the same
 // inputs (views, update spec, optimizer config), relying on the optimizer
-// being deterministic. Adaptive re-selection (EnableAdapt) changes the
-// materialized set at runtime and is not durable; combining it with a WAL
-// runtime is rejected at spill-mismatch detection during recovery.
+// being deterministic. Adaptive re-selection (EnableAdapt/Adapt) changes the
+// materialized set at runtime and is not durable; it is rejected up front on
+// a durable runtime (errAdaptDurable), and a directory a foreign build wrote
+// with a different materialized set still trips spill-mismatch detection
+// during recovery.
 
 import (
 	"errors"
@@ -144,7 +146,11 @@ type durable struct {
 	loopDone chan struct{}
 }
 
-// setErr records the first loop error and wakes flushers.
+// setErr records the first durability error, wakes flushers, and closes the
+// queue: once durability maintenance has failed (append, apply, spill —
+// including a background spill), admission must stop promptly rather than
+// letting producers keep feeding a loop that can no longer make their ops
+// durable.
 func (d *durable) setErr(err error) {
 	d.mu.Lock()
 	if d.err == nil {
@@ -152,6 +158,14 @@ func (d *durable) setErr(err error) {
 	}
 	d.cond.Broadcast()
 	d.mu.Unlock()
+	d.q.Close()
+}
+
+// loadErr returns the sticky durability error, if any.
+func (d *durable) loadErr() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
 }
 
 // OpenDurable boots a WAL-backed runtime for this plan. On a fresh directory
@@ -230,6 +244,12 @@ func (p *MaintenancePlan) OpenDurable(db *storage.Database, opts DurableOptions)
 	info.ReplayedBatches = len(rec.Batches)
 	info.Epoch = st.Current().Epoch()
 	d.lastSpill = d.applied
+	// Boot replay went through applyBatch, which counted replayed rows into
+	// appliedOps. FlushIngest compares appliedOps against the queue's
+	// Enqueued counter, which starts at 0 — reset so only live-admitted ops
+	// count, else a recovered runtime's flush returns before newly admitted
+	// ops are applied.
+	d.appliedOps.Store(0)
 
 	// Anchor the directory: fresh boots get their initial spill+manifest (so
 	// a manifest-less directory always means "no recoverable state"), and
@@ -345,15 +365,20 @@ func (r *Runtime) Ingest(op ingest.Op) error {
 		return fmt.Errorf("core: relation %q: tuple arity %d, schema arity %d", op.Rel, len(op.Tuple), want)
 	}
 	if !d.q.Enqueue(op) {
-		if d.q.Config().Policy == ingest.Shed && !d.closedQueue() {
+		if d.q.Config().Policy == ingest.Shed && !d.q.Closed() {
 			return ErrShed
+		}
+		if err := d.loadErr(); err != nil {
+			return fmt.Errorf("core: ingest stopped: %w", err)
 		}
 		return errors.New("core: ingest queue closed")
 	}
 	return nil
 }
 
-func (d *durable) closedQueue() bool {
+// loopExited reports whether the ingest loop has returned (no further
+// applies are coming).
+func (d *durable) loopExited() bool {
 	select {
 	case <-d.loopDone:
 		return true
@@ -381,8 +406,22 @@ func (r *Runtime) StartIngest() error {
 
 // loop is the continuous ingest writer.
 func (d *durable) loop(r *Runtime) {
+	// LIFO: loopDone closes first, then the broadcast wakes any flusher so
+	// it re-checks loopExited.
+	defer func() {
+		d.mu.Lock()
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	}()
 	defer close(d.loopDone)
 	for {
+		// A background spill failure lands via setErr while this loop is
+		// elsewhere; stop before admitting, logging, or applying anything
+		// further. setErr already closed the queue, so producers are
+		// unblocked and new admission fails.
+		if d.loadErr() != nil {
+			return
+		}
 		ops, oldest, ok := d.q.NextBatch()
 		if !ok {
 			return
@@ -397,7 +436,6 @@ func (d *durable) loop(r *Runtime) {
 		// published epoch can ever be lost to a crash.
 		if err := d.log.AppendBatch(b); err != nil {
 			d.setErr(err)
-			d.q.Close()
 			return
 		}
 		if d.opts.RefreshDelay > 0 {
@@ -405,7 +443,6 @@ func (d *durable) loop(r *Runtime) {
 		}
 		if err := d.applyBatch(r, b); err != nil {
 			d.setErr(err)
-			d.q.Close()
 			return
 		}
 		lat := time.Since(oldest).Nanoseconds()
@@ -536,7 +573,7 @@ func (r *Runtime) FlushIngest() error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for d.err == nil && d.appliedOps.Load() < d.q.Stats().Enqueued && !d.closedQueue() {
+	for d.err == nil && d.appliedOps.Load() < d.q.Stats().Enqueued && !d.loopExited() {
 		d.cond.Wait()
 	}
 	return d.err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"os"
 	"reflect"
 	"sync"
 	"testing"
@@ -193,6 +194,24 @@ func TestDurableIngestRecoverReplay(t *testing.T) {
 	if res.Epoch != st.Epoch {
 		t.Fatalf("query epoch %d, want %d", res.Epoch, st.Epoch)
 	}
+
+	// Recover-then-continue: a recovered runtime must treat its replayed
+	// batches as history, not as progress against newly admitted ops
+	// (regression: replay primed appliedOps, so FlushIngest returned before
+	// live ops were applied and Verify raced the ingest loop's Refresh).
+	if err := rtC.StartIngest(); err != nil {
+		t.Fatal(err)
+	}
+	preBatch := rtC.DurableStats().LastBatch
+	if n := driveStream(t, rtC, cat, pct, []int64{104}); n == 0 {
+		t.Fatal("post-recovery stream produced no ops")
+	}
+	if post := rtC.DurableStats().LastBatch; post <= preBatch {
+		t.Fatalf("flush returned with no batch applied after recovery (batch %d → %d)", preBatch, post)
+	}
+	if err := rtC.Verify(); err != nil {
+		t.Fatal(err)
+	}
 	if err := rtC.CloseDurable(); err != nil {
 		t.Fatal(err)
 	}
@@ -327,6 +346,64 @@ func TestDurableBackpressure(t *testing.T) {
 	}
 }
 
+// A failed durability-maintenance step (here: every spill and rotation
+// failing after the WAL directory vanishes) must stop ingestion promptly:
+// the sticky error closes the queue, the loop exits, and Ingest, FlushIngest
+// and StopIngest all surface the failure — the engine never keeps accepting
+// ops it can no longer make durable.
+func TestDurableSpillFailureStopsIngest(t *testing.T) {
+	dir := t.TempDir()
+	plan, db, cat := buildDurablePlan(t, 0.002, 5)
+	rt, _, err := plan.OpenDurable(db, DurableOptions{
+		Dir:        dir,
+		SpillEvery: 1, // spill (and rotate) after every batch
+		Queue:      ingest.Config{Capacity: 512, MaxBatchRows: 16, MaxBatchWait: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.StartIngest(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream inserts only (fresh keys never conflict with the loop applying
+	// concurrently) until the spill failure propagates to admission.
+	var ingErr error
+	seed := int64(301)
+	deadline := time.Now().Add(30 * time.Second)
+	for ingErr == nil && time.Now().Before(deadline) {
+		s := tpcd.NewUpdateStream(cat, rt.Snapshots().Current().Database(), updatedRels, 5, seed)
+		seed++
+		for {
+			op, ok := s.Next()
+			if !ok {
+				break
+			}
+			if op.Del {
+				continue
+			}
+			if ingErr = rt.Ingest(op); ingErr != nil {
+				break
+			}
+		}
+	}
+	if ingErr == nil {
+		t.Fatal("Ingest kept accepting ops after durability maintenance failed")
+	}
+	if err := rt.FlushIngest(); err == nil {
+		t.Error("FlushIngest must surface the durability error")
+	}
+	if err := rt.StopIngest(); err == nil {
+		t.Error("StopIngest must surface the durability error")
+	}
+	if err := rt.CloseDurable(); err == nil {
+		t.Error("CloseDurable must surface the durability error")
+	}
+}
+
 // Admission control: unknown relations, relations outside the update spec,
 // and arity mismatches are rejected at Ingest, before anything is queued.
 func TestDurableIngestAdmission(t *testing.T) {
@@ -381,6 +458,15 @@ func TestDurableAPIMisuse(t *testing.T) {
 	}
 	if err := rt.StartIngest(); err == nil {
 		t.Error("second StartIngest must fail")
+	}
+	// Adaptive re-selection would make the WAL directory unrecoverable (the
+	// adapted plan cannot be reconstructed at boot), so it is rejected up
+	// front on durable runtimes.
+	if err := rt.EnableAdapt(AdaptOptions{}); err == nil {
+		t.Error("EnableAdapt on a durable runtime must fail")
+	}
+	if _, err := rt.Adapt(); err == nil {
+		t.Error("Adapt on a durable runtime must fail")
 	}
 	if err := rt.CloseDurable(); err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@
 package ingest
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -80,9 +81,15 @@ type item struct {
 // Queue is the bounded op buffer between producers and the refresh writer.
 // Any number of goroutines may Enqueue; one consumer calls NextBatch.
 type Queue struct {
-	cfg      Config
-	ch       chan item
-	done     chan struct{}
+	cfg  Config
+	ch   chan item
+	done chan struct{}
+	// mu orders producer sends against the consumer's exhaustion check:
+	// Enqueue holds it shared across its closed-check and send, and
+	// NextBatch takes it exclusively (an empty critical section — a pure
+	// barrier) after observing done closed, before the final drain. Close
+	// never takes it, so closing always unblocks producers promptly.
+	mu       sync.RWMutex
 	enqueued atomic.Int64
 	shed     atomic.Int64
 	closed   atomic.Bool
@@ -99,11 +106,19 @@ func (q *Queue) Config() Config { return q.cfg }
 
 // Enqueue admits one op, reporting whether it was accepted. Under Block it
 // waits for space (returning false only once the queue is closed); under
-// Shed it drops immediately when full.
+// Shed it drops immediately when full. Acceptance is a guarantee: an op
+// Enqueue returns true for will be drained by NextBatch, even when the
+// accept races with Close — the consumer's exhaustion barrier waits out
+// every in-flight send before declaring the queue drained.
 func (q *Queue) Enqueue(op Op) bool {
-	// Checked up front AND raced below: the select picks uniformly among
-	// ready cases, so with free buffer space the send could win against
-	// <-q.done after Close without this guard.
+	// The read lock spans the closed check and the send. A send can still
+	// win the select race against <-q.done after Close (select picks
+	// uniformly among ready cases), but it does so while holding the lock,
+	// so NextBatch's exhaustion barrier observes it; blocking in the select
+	// while holding the lock is safe because Close closes done without
+	// taking the lock.
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	if q.closed.Load() {
 		return false
 	}
@@ -130,12 +145,16 @@ func (q *Queue) Enqueue(op Op) bool {
 }
 
 // Close stops admission and unblocks producers. NextBatch keeps draining
-// what is already queued, then reports exhaustion.
+// what is already queued (including sends that raced with Close and won),
+// then reports exhaustion.
 func (q *Queue) Close() {
 	if q.closed.CompareAndSwap(false, true) {
 		close(q.done)
 	}
 }
+
+// Closed reports whether Close has been called.
+func (q *Queue) Closed() bool { return q.closed.Load() }
 
 // Depth returns the current queued op count.
 func (q *Queue) Depth() int { return len(q.ch) }
@@ -159,7 +178,13 @@ func (q *Queue) NextBatch() (ops []Op, oldest time.Time, ok bool) {
 	select {
 	case first = <-q.ch:
 	case <-q.done:
-		// Closed: drain leftovers without waiting.
+		// Closed. Barrier first: every in-flight Enqueue resolves promptly
+		// now that done is closed, and taking the write lock waits them all
+		// out — so the drain below sees every send that will ever succeed,
+		// and empty really means exhausted.
+		q.mu.Lock()
+		//lint:ignore SA2001 empty critical section is the barrier
+		q.mu.Unlock()
 		select {
 		case first = <-q.ch:
 		default:

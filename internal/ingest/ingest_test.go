@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -122,4 +123,50 @@ func TestCloseDrainsThenStops(t *testing.T) {
 	time.Sleep(2 * time.Millisecond)
 	q2.Close()
 	wg.Wait()
+}
+
+// Acceptance is a guarantee even across a racing Close: an op Enqueue
+// returned true for must be drained before NextBatch reports exhaustion —
+// a send that wins the select race against <-q.done must not be lost once
+// the consumer has observed the queue empty. Run many rounds with Close
+// landing mid-stream to exercise the window (and -race to check the
+// barrier's ordering).
+func TestCloseRaceNeverDropsAcceptedOps(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		q := NewQueue(Config{Capacity: 4, MaxBatchRows: 8, MaxBatchWait: 50 * time.Microsecond})
+		var accepted atomic.Int64
+		var wg sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					if !q.Enqueue(op(p*1_000_000 + i)) {
+						return
+					}
+					accepted.Add(1)
+				}
+			}(p)
+		}
+		drained := 0
+		consumed := make(chan struct{})
+		go func() {
+			defer close(consumed)
+			for {
+				ops, _, ok := q.NextBatch()
+				if !ok {
+					return
+				}
+				drained += len(ops)
+			}
+		}()
+		time.Sleep(time.Duration(round%4) * 50 * time.Microsecond)
+		q.Close()
+		wg.Wait()
+		<-consumed
+		if int64(drained) != accepted.Load() {
+			t.Fatalf("round %d: %d ops accepted, %d drained — accepted op lost at close",
+				round, accepted.Load(), drained)
+		}
+	}
 }

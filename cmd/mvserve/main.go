@@ -30,12 +30,22 @@
 // micro-batch is group-committed to a write-ahead log (in a throwaway
 // directory) before its epochs publish. -fsync extends durability to
 // machine crashes; -stream-batches sizes the update stream.
+//
+// -shards switches to the sharded scatter-gather experiment: queries are
+// lowered onto a worker fleet that shards the hash partitions, epochs
+// publish through the two-phase install, and answers stay byte-identical to
+// single-node serving. The fleet is in-process by default; -shard-addrs
+// dials running mvshard workers instead:
+//
+//	mvserve -shards 2 -readers 4 -cycles 2 -check
+//	mvserve -shards 2 -partitions 8 -shard-addrs 127.0.0.1:7070,127.0.0.1:7071
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 )
@@ -54,7 +64,38 @@ func main() {
 	walDir := flag.String("wal-dir", "", "serve over the durable streaming path; WAL lives in this directory")
 	fsync := flag.Bool("fsync", false, "fsync group commits (with -wal-dir)")
 	streamBatches := flag.Int("stream-batches", 3, "update batches streamed during the run (with -wal-dir)")
+	shards := flag.Int("shards", 0, "serve through a scatter-gather worker fleet of this size (0 = off)")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated mvshard addresses (with -shards; empty boots an in-process fleet)")
 	flag.Parse()
+
+	if *shards > 0 {
+		var addrs []string
+		if *shardAddrs != "" {
+			addrs = strings.Split(*shardAddrs, ",")
+			if len(addrs) != *shards {
+				fmt.Fprintf(os.Stderr, "mvserve: %d addresses in -shard-addrs for %d shards\n", len(addrs), *shards)
+				os.Exit(2)
+			}
+		}
+		parts := *partitions
+		if parts <= 1 { // the sequential-operator default picks the fleet default
+			parts = 0
+		}
+		fmt.Printf("generating TPC-D at SF %g and serving %d readers over %d shards…\n",
+			*sf, *readers, *shards)
+		r := bench.ShardedServe(bench.ShardedServeConfig{
+			ScaleFactor: *sf, UpdatePct: *pct,
+			Readers: *readers, Cycles: *cycles,
+			Shards: *shards, Partitions: parts, Addrs: addrs,
+			Seed: *seed, Check: *check,
+		})
+		fmt.Print(r.Format())
+		if !r.Verified || !r.Consistent || !r.ByteIdentical || r.Scattered == 0 {
+			fmt.Fprintln(os.Stderr, "mvserve: FAILED (diverged answers, inconsistent results, or nothing scattered)")
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *walDir != "" {
 		fmt.Printf("generating TPC-D at SF %g and serving %d readers over the durable ingest path…\n",

@@ -45,6 +45,38 @@ func (p Pred) Bind(s Schema) BoundPred {
 	return out
 }
 
+// BoundCmp is the exported image of one compiled conjunct. A side is either
+// a tuple index (idx >= 0, the value field ignored) or a literal (idx == -1).
+// The shard transport serializes bound predicates in this form so workers
+// evaluate exactly the predicate the coordinator compiled — re-binding on the
+// worker would need the schema, which the wire format deliberately omits.
+type BoundCmp struct {
+	Op         CmpOp
+	LIdx, RIdx int
+	LVal, RVal Value
+}
+
+// Cmps returns the compiled conjuncts (the encode side of a serialized
+// predicate).
+func (p BoundPred) Cmps() []BoundCmp {
+	out := make([]BoundCmp, len(p.cs))
+	for i, c := range p.cs {
+		out[i] = BoundCmp{Op: c.op, LIdx: c.li, RIdx: c.ri, LVal: c.lv, RVal: c.rv}
+	}
+	return out
+}
+
+// NewBoundPred reassembles a BoundPred from compiled conjuncts (the decode
+// side). Eval is shared with predicates bound locally, so both sides of the
+// wire agree on comparison semantics by construction.
+func NewBoundPred(cs []BoundCmp) BoundPred {
+	out := BoundPred{cs: make([]boundCmp, len(cs))}
+	for i, c := range cs {
+		out.cs[i] = boundCmp{op: c.Op, li: c.LIdx, ri: c.RIdx, lv: c.LVal, rv: c.RVal}
+	}
+	return out
+}
+
 // Eval evaluates the bound conjunction against a tuple.
 func (p BoundPred) Eval(t Tuple) bool {
 	for _, c := range p.cs {

@@ -1,0 +1,261 @@
+package core
+
+// Golden shard-equivalence: the same workload refreshed and queried through
+// sharded scatter-gather at shards ∈ {1, 2, 4} must answer every
+// non-aggregate query byte-identically to single-node serving (aggregates:
+// multiset-equal; their group order is map order even sequentially). Runs
+// under -race in CI, so the coordinator/worker paths under concurrent
+// queries are exercised for races too. Mirrors
+// TestServePartitionCountIndependence one level up the distribution stack.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/shard"
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+// shardServeAnswers builds the standard serving workload, applies one update
+// cycle, installs it on a fleet of the given size, and answers serveQueries
+// through the scatter path. shards == 0 means plain single-node serving
+// (with the dynamic cache off, matching the sharded configuration, so plan
+// search is identical and non-aggregate answers are byte-comparable).
+func shardServeAnswers(t *testing.T, shards int) ([]*storage.Relation, ShardStats) {
+	t.Helper()
+	rt := buildServingRuntime(t, 0.002, 5)
+	cat := rt.Plan.System.Cat
+
+	answers := func(query func(string) (*QueryResult, error)) []*storage.Relation {
+		var out []*storage.Relation
+		for _, sql := range serveQueries {
+			res, err := query(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res.Rows)
+		}
+		return out
+	}
+
+	if shards == 0 {
+		rt.EnableServing(ServeOptions{CacheBudget: -1})
+		tpcd.LogUniformUpdates(cat, rt.Ex.DB, updatedRels, 5, 99)
+		rt.Refresh()
+		if err := rt.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return answers(rt.Query), ShardStats{}
+	}
+
+	sr, err := rt.EnableShardedInProc(ShardOptions{Shards: shards, Partitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	tpcd.LogUniformUpdates(cat, rt.Ex.DB, updatedRels, 5, 99)
+	if err := sr.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if gate, cur := sr.Coordinator().Gate(), rt.Snapshots().Current().Epoch(); gate != cur {
+		t.Fatalf("gate %d after install, current epoch %d", gate, cur)
+	}
+	return answers(sr.Query), sr.Stats()
+}
+
+func TestShardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates TPC-D data")
+	}
+	aggregateIdx := map[int]bool{1: true, 2: true}
+
+	base, _ := shardServeAnswers(t, 0)
+	for _, shards := range []int{1, 2, 4} {
+		got, stats := shardServeAnswers(t, shards)
+		if stats.Scattered == 0 {
+			t.Fatalf("shards=%d: no query went through scatter-gather (fallbacks=%d)",
+				shards, stats.Fallbacks)
+		}
+		for i := range base {
+			if !storage.EqualMultiset(base[i], got[i]) {
+				t.Fatalf("shards=%d: query %d diverged as multiset (%d vs %d rows)",
+					shards, i, base[i].Len(), got[i].Len())
+			}
+			if aggregateIdx[i] {
+				continue
+			}
+			for r, tu := range base[i].Rows() {
+				if !tu.Equal(got[i].Rows()[r]) {
+					t.Fatalf("shards=%d: query %d not byte-identical at row %d", shards, i, r)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedConcurrentReaders drives concurrent sharded queries against a
+// refreshing writer (the serve_test concurrency shape, over the scatter
+// path): every answer must multiset-equal the from-scratch recomputation at
+// the epoch it claims, so no reader ever observes a torn epoch.
+func TestShardedConcurrentReaders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates TPC-D data")
+	}
+	rt := buildServingRuntime(t, 0.002, 5)
+	cat := rt.Plan.System.Cat
+	sr, err := rt.EnableShardedInProc(ShardOptions{Shards: 3, Partitions: 6, RetainHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+
+	sql := serveQueries[0] // non-aggregate join: the scatter fast path
+	s := rt.server()
+	s.mu.Lock()
+	root := s.roots[sql]
+	s.mu.Unlock()
+
+	const readers = 4
+	type obs struct {
+		epoch int64
+		rows  *storage.Relation
+	}
+	var mu sync.Mutex
+	var seen []obs
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := sr.Query(sql)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				seen = append(seen, obs{res.Epoch, res.Rows})
+				mu.Unlock()
+			}
+		}()
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		tpcd.LogUniformUpdates(cat, rt.Ex.DB, updatedRels, 5, int64(100+cycle))
+		if err := sr.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if root == nil {
+		s.mu.Lock()
+		root = s.roots[sql]
+		s.mu.Unlock()
+	}
+	sd := rt.serverIfEnabled().dag
+	checked := map[int64]*storage.Relation{}
+	for _, o := range seen {
+		want := checked[o.epoch]
+		if want == nil {
+			snap := rt.Snapshots().At(o.epoch)
+			if snap == nil {
+				t.Fatalf("answer claims unretained epoch %d", o.epoch)
+			}
+			want = recomputeAt(sd, root, snap)
+			checked[o.epoch] = want
+		}
+		if !storage.EqualMultiset(o.rows, want) {
+			t.Fatalf("answer at epoch %d does not match that epoch's recomputation (%d vs %d rows)",
+				o.epoch, o.rows.Len(), want.Len())
+		}
+	}
+	if sr.Stats().Scattered == 0 {
+		t.Fatal("no concurrent query went through scatter-gather")
+	}
+}
+
+// TestShardedInstallRetryAfterFailure: a failed stage (one shard down) must
+// leave the gate untouched, and a retried install after the shard rejoins
+// must converge — the superset-diff retry contract of the two-phase install.
+func TestShardedInstallRetryAfterFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates TPC-D data")
+	}
+	rt := buildServingRuntime(t, 0.002, 5)
+	cat := rt.Plan.System.Cat
+	dirs := []string{t.TempDir(), t.TempDir()}
+	asg := shard.Assignment{Partitions: 4, Shards: 2}
+
+	workers := make([]*shard.Worker, 2)
+	clients := make([]shard.Client, 2)
+	for i := range workers {
+		w, err := shard.NewWorker(i, asg, dirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		clients[i] = shard.InProc{W: w}
+	}
+	sr, err := rt.EnableShardedClients(asg, clients, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate0 := sr.Coordinator().Gate()
+
+	// Take shard 1 down (a closed worker's stage log writes fail), refresh,
+	// and watch the install fail without moving the gate.
+	workers[1].Close()
+	tpcd.LogUniformUpdates(cat, rt.Ex.DB, updatedRels, 5, 99)
+	rt.Refresh()
+	if err := sr.Install(); err == nil {
+		t.Fatal("install succeeded with a dead shard")
+	}
+	if got := sr.Coordinator().Gate(); got != gate0 {
+		t.Fatalf("failed install moved the gate: %d -> %d", gate0, got)
+	}
+
+	// Restart the worker from its stage log, swap the client in, rejoin, and
+	// retry: the gate must reach the current epoch.
+	w1, err := shard.NewWorker(1, asg, dirs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.Coordinator().ReplaceClient(1, shard.InProc{W: w1})
+	if err := sr.Rejoin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Install(); err != nil {
+		t.Fatalf("retried install: %v", err)
+	}
+	if gate, cur := sr.Coordinator().Gate(), rt.Snapshots().Current().Epoch(); gate != cur {
+		t.Fatalf("gate %d after retry, want %d", gate, cur)
+	}
+	res, err := sr.Query(serveQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := rt.Query(serveQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != single.Epoch {
+		t.Fatalf("epochs diverge after retry: %d vs %d", res.Epoch, single.Epoch)
+	}
+	for r, tu := range single.Rows.Rows() {
+		if !tu.Equal(res.Rows.Rows()[r]) {
+			t.Fatalf("row %d differs after recovery retry", r)
+		}
+	}
+	sr.Close()
+}

@@ -180,15 +180,51 @@ func hashJoinP(l, r *storage.Relation, pred algebra.Pred, par storage.Par) *stor
 	}
 	// Build on the smaller input — the same rule as hashJoin, so the emit
 	// order per probe row matches the sequential join exactly.
+	return hashJoinOriented(l, r, lCols, rCols, res, hasResidual, outSchema,
+		!(r.Len() < l.Len()), par)
+}
+
+// hashJoinPlanned is the plan-driven join used by Executor.Run: the build
+// side comes from the optimizer's row estimates (BuildLeftFromPlan) instead
+// of the inputs' actual sizes. Committing at plan time is what lets a
+// distributed executor (internal/shard) choose the identical side without
+// materializing the probe input first — the shard lowering and this function
+// share the same rule, so scattered and single-node execution emit rows in
+// the same order.
+func hashJoinPlanned(l, r *storage.Relation, pred algebra.Pred, buildIsLeft bool, par storage.Par) *storage.Relation {
+	par = par.Norm()
+	ls, rs := l.Schema(), r.Schema()
+	outSchema := ls.Concat(rs)
+	lCols, rCols, residual := splitJoinPred(pred, ls, rs)
+	hasResidual := len(residual) > 0
+	var res algebra.BoundPred
+	if hasResidual {
+		res = algebra.Pred{Conjuncts: residual}.Bind(outSchema)
+	}
+	if len(lCols) == 0 {
+		// Nested loops are orientation-free: the outer side is always l.
+		if !par.Enabled() || l.Len()+r.Len() < storage.ParMinRows {
+			return hashJoin(l, r, pred)
+		}
+		return nestedLoopP(l, r, res, hasResidual, outSchema, par)
+	}
+	return hashJoinOriented(l, r, lCols, rCols, res, hasResidual, outSchema, buildIsLeft, par)
+}
+
+// hashJoinOriented is the shared keyed-join core with the build side fixed
+// by the caller. Small inputs and small builds go through the broadcast
+// path, which with one morsel range is exactly the sequential algorithm, so
+// output order depends only on the orientation — never on the path taken.
+func hashJoinOriented(l, r *storage.Relation, lCols, rCols []int,
+	res algebra.BoundPred, hasResidual bool, outSchema algebra.Schema,
+	buildIsLeft bool, par storage.Par) *storage.Relation {
 	build, bCols := l, lCols
 	probe, pCols := r, rCols
-	buildIsLeft := true
-	if r.Len() < l.Len() {
+	if !buildIsLeft {
 		build, bCols = r, rCols
 		probe, pCols = l, lCols
-		buildIsLeft = false
 	}
-	if build.Len() <= broadcastMaxBuild {
+	if !par.Enabled() || l.Len()+r.Len() < storage.ParMinRows || build.Len() <= broadcastMaxBuild {
 		// Broadcast fast path for the delta-join shape (small build side,
 		// large probe side — the common case in differential maintenance and
 		// most served queries): build the one small table sequentially and

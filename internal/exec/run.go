@@ -70,7 +70,7 @@ func (ex *Executor) Run(p *volcano.PlanNode) *storage.Relation {
 		} else {
 			r = ex.Run(p.Children[1])
 		}
-		return projectToP(hashJoinP(l, r, op.Pred, par), p.E.Schema, par)
+		return projectToP(hashJoinPlanned(l, r, op.Pred, BuildLeftFromPlan(p), par), p.E.Schema, par)
 	case dag.OpAggregate:
 		return projectToP(aggregateP(ex.Run(p.Children[0]), op, p.E.Schema, par, ex.sizeHint(p.E)), p.E.Schema, par)
 	case dag.OpUnion:
@@ -83,6 +83,22 @@ func (ex *Executor) Run(p *volcano.PlanNode) *storage.Relation {
 		panic("exec: unexpected op kind " + op.Kind.String())
 	}
 }
+
+// BuildLeftFromPlan decides a plan join's hash-build side from the
+// optimizer's row estimates: build on the left child unless the right child
+// is estimated strictly smaller (the same tie-break as the size-based rule
+// of hashJoin). Plan-time commitment is deliberate — the shard lowering
+// (internal/shard) must pick the identical side without executing either
+// input, so it and Run both route through this function.
+func BuildLeftFromPlan(p *volcano.PlanNode) bool {
+	return !(p.Children[1].Rows < p.Children[0].Rows)
+}
+
+// Stored returns the stored image of a plan node the way Run's INL arm reads
+// its probed inner: the base relation (projected to the node schema) for
+// table leaves, the materialized copy otherwise. The shard lowering uses it
+// to execute Probe-access build sides coordinator-side.
+func (ex *Executor) Stored(e *dag.Equiv) *storage.Relation { return ex.stored(e) }
 
 // sizeHint estimates a node's final row count via the installed Sizer (0
 // without one).

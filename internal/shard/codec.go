@@ -1,0 +1,601 @@
+package shard
+
+// Wire codec for the shard transport. One byte of message tag, then
+// varint-based fields; tuples reuse the WAL's self-describing tuple encoding
+// so value semantics (and their tests) are shared with the durability layer.
+//
+// Contract: encoding is deterministic (map keys are sorted), and decoding
+// NEVER panics on malformed input — every length is capped by the bytes
+// remaining and every tag/kind is validated. FuzzShardCodec in codec_test.go
+// holds the line.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/wal"
+)
+
+// Message tags (first byte of every encoded message).
+const (
+	tagScatter = 'S' // ScatterReq
+	tagStage   = 'G' // StageReq
+	tagPartial = 'P' // Partial
+	tagHello   = 'H' // Hello
+)
+
+// ---------------------------------------------------------------------------
+// Primitives.
+
+func appendInt(b []byte, v int64) []byte { return appendVarint(b, v) }
+
+func appendVarint(b []byte, v int64) []byte {
+	u := uint64(v) << 1
+	if v < 0 {
+		u = ^u
+	}
+	return appendUvarint(b, u)
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func decodeUvarint(b []byte) (uint64, []byte, error) {
+	var v uint64
+	var s uint
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c < 0x80 {
+			if i == 9 && c > 1 {
+				return 0, nil, fmt.Errorf("uvarint overflows 64 bits")
+			}
+			return v | uint64(c)<<s, b[i+1:], nil
+		}
+		if i == 9 {
+			return 0, nil, fmt.Errorf("uvarint too long")
+		}
+		v |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, nil, fmt.Errorf("truncated uvarint")
+}
+
+func decodeVarint(b []byte) (int64, []byte, error) {
+	u, b, err := decodeUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	v := int64(u >> 1)
+	if u&1 != 0 {
+		v = ^v
+	}
+	return v, b, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func decodeString(b []byte) (string, []byte, error) {
+	n, b, err := decodeUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(b)) < n {
+		return "", nil, fmt.Errorf("truncated string (%d of %d bytes)", len(b), n)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// capBy bounds a decoded element count by the bytes remaining, so corrupt
+// counts cannot drive huge allocations; each element costs >= 1 byte.
+func capBy(n uint64, b []byte) int {
+	if n > uint64(len(b)) {
+		return len(b)
+	}
+	return int(n)
+}
+
+func appendValue(b []byte, v algebra.Value) []byte {
+	return wal.AppendTuple(b, algebra.Tuple{v})
+}
+
+func decodeValue(b []byte) (algebra.Value, []byte, error) {
+	t, b, err := wal.DecodeTuple(b)
+	if err != nil {
+		return algebra.Value{}, nil, err
+	}
+	if len(t) != 1 {
+		return algebra.Value{}, nil, fmt.Errorf("value encoded as %d-tuple", len(t))
+	}
+	return t[0], b, nil
+}
+
+func appendCmps(b []byte, cs []algebra.BoundCmp) []byte {
+	b = appendUvarint(b, uint64(len(cs)))
+	for _, c := range cs {
+		b = append(b, byte(c.Op))
+		b = appendInt(b, int64(c.LIdx))
+		b = appendInt(b, int64(c.RIdx))
+		b = appendValue(b, c.LVal)
+		b = appendValue(b, c.RVal)
+	}
+	return b
+}
+
+func decodeCmps(b []byte) ([]algebra.BoundCmp, []byte, error) {
+	n, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cmp count: %w", err)
+	}
+	cs := make([]algebra.BoundCmp, 0, capBy(n, b))
+	for i := uint64(0); i < n; i++ {
+		if len(b) < 1 {
+			return nil, nil, fmt.Errorf("cmp %d: missing op", i)
+		}
+		op := algebra.CmpOp(b[0])
+		b = b[1:]
+		if op > algebra.GE {
+			return nil, nil, fmt.Errorf("cmp %d: unknown op %d", i, op)
+		}
+		var c algebra.BoundCmp
+		c.Op = op
+		var li, ri int64
+		if li, b, err = decodeVarint(b); err != nil {
+			return nil, nil, fmt.Errorf("cmp %d: lidx: %w", i, err)
+		}
+		if ri, b, err = decodeVarint(b); err != nil {
+			return nil, nil, fmt.Errorf("cmp %d: ridx: %w", i, err)
+		}
+		c.LIdx, c.RIdx = int(li), int(ri)
+		if c.LVal, b, err = decodeValue(b); err != nil {
+			return nil, nil, fmt.Errorf("cmp %d: lval: %w", i, err)
+		}
+		if c.RVal, b, err = decodeValue(b); err != nil {
+			return nil, nil, fmt.Errorf("cmp %d: rval: %w", i, err)
+		}
+		cs = append(cs, c)
+	}
+	return cs, b, nil
+}
+
+func appendInts(b []byte, xs []int) []byte {
+	b = appendUvarint(b, uint64(len(xs)))
+	for _, x := range xs {
+		b = appendInt(b, int64(x))
+	}
+	return b
+}
+
+func decodeInts(b []byte) ([]int, []byte, error) {
+	n, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	xs := make([]int, 0, capBy(n, b))
+	for i := uint64(0); i < n; i++ {
+		var x int64
+		if x, b, err = decodeVarint(b); err != nil {
+			return nil, nil, err
+		}
+		xs = append(xs, int(x))
+	}
+	return xs, b, nil
+}
+
+func appendRows(b []byte, rows []algebra.Tuple) []byte {
+	b = appendUvarint(b, uint64(len(rows)))
+	for _, t := range rows {
+		b = wal.AppendTuple(b, t)
+	}
+	return b
+}
+
+func decodeRows(b []byte) ([]algebra.Tuple, []byte, error) {
+	n, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("row count: %w", err)
+	}
+	rows := make([]algebra.Tuple, 0, capBy(n, b))
+	for i := uint64(0); i < n; i++ {
+		var t algebra.Tuple
+		if t, b, err = wal.DecodeTuple(b); err != nil {
+			return nil, nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		rows = append(rows, t)
+	}
+	return rows, b, nil
+}
+
+func appendSlice(b []byte, s Slice) []byte {
+	b = appendUvarint(b, uint64(len(s.Rows)))
+	for i, t := range s.Rows {
+		b = appendInt(b, int64(s.Idx[i]))
+		b = wal.AppendTuple(b, t)
+	}
+	return b
+}
+
+func decodeSlice(b []byte) (Slice, []byte, error) {
+	n, b, err := decodeUvarint(b)
+	if err != nil {
+		return Slice{}, nil, fmt.Errorf("slice length: %w", err)
+	}
+	s := Slice{
+		Rows: make([]algebra.Tuple, 0, capBy(n, b)),
+		Idx:  make([]int32, 0, capBy(n, b)),
+	}
+	for i := uint64(0); i < n; i++ {
+		var idx int64
+		if idx, b, err = decodeVarint(b); err != nil {
+			return Slice{}, nil, fmt.Errorf("slice row %d idx: %w", i, err)
+		}
+		var t algebra.Tuple
+		if t, b, err = wal.DecodeTuple(b); err != nil {
+			return Slice{}, nil, fmt.Errorf("slice row %d: %w", i, err)
+		}
+		s.Idx = append(s.Idx, int32(idx))
+		s.Rows = append(s.Rows, t)
+	}
+	return s, b, nil
+}
+
+// ---------------------------------------------------------------------------
+// ScatterReq.
+
+// EncodeScatter serializes a scatter request.
+func EncodeScatter(req *ScatterReq) []byte {
+	b := []byte{tagScatter}
+	b = appendInt(b, req.Epoch)
+	if req.Leaf.Mat {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendInt(b, int64(req.Leaf.ID))
+	b = appendString(b, req.Leaf.Rel)
+	b = appendUvarint(b, uint64(len(req.Stages)))
+	for _, st := range req.Stages {
+		b = append(b, byte(st.Kind))
+		switch st.Kind {
+		case StageFilter:
+			b = appendCmps(b, st.Pred)
+		case StageProject:
+			b = appendInts(b, st.Cols)
+		case StageJoin:
+			if st.BuildIsLeft {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = appendInts(b, st.BCols)
+			b = appendInts(b, st.PCols)
+			b = appendRows(b, st.Build)
+			if st.HasResidual {
+				b = append(b, 1)
+				b = appendCmps(b, st.Residual)
+			} else {
+				b = append(b, 0)
+			}
+		}
+	}
+	return b
+}
+
+// DecodeScatter parses a scatter request (the payload must carry the 'S'
+// tag). Never panics.
+func DecodeScatter(b []byte) (*ScatterReq, error) {
+	if len(b) < 1 || b[0] != tagScatter {
+		return nil, fmt.Errorf("shard: not a scatter message")
+	}
+	b = b[1:]
+	var req ScatterReq
+	var err error
+	if req.Epoch, b, err = decodeVarint(b); err != nil {
+		return nil, fmt.Errorf("shard: scatter epoch: %w", err)
+	}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("shard: scatter leaf: truncated")
+	}
+	req.Leaf.Mat = b[0] == 1
+	b = b[1:]
+	var id int64
+	if id, b, err = decodeVarint(b); err != nil {
+		return nil, fmt.Errorf("shard: scatter leaf id: %w", err)
+	}
+	req.Leaf.ID = int32(id)
+	if req.Leaf.Rel, b, err = decodeString(b); err != nil {
+		return nil, fmt.Errorf("shard: scatter leaf rel: %w", err)
+	}
+	n, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("shard: stage count: %w", err)
+	}
+	req.Stages = make([]Stage, 0, capBy(n, b))
+	for i := uint64(0); i < n; i++ {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("shard: stage %d: missing kind", i)
+		}
+		st := Stage{Kind: StageKind(b[0])}
+		b = b[1:]
+		switch st.Kind {
+		case StageFilter:
+			if st.Pred, b, err = decodeCmps(b); err != nil {
+				return nil, fmt.Errorf("shard: stage %d filter: %w", i, err)
+			}
+		case StageProject:
+			if st.Cols, b, err = decodeInts(b); err != nil {
+				return nil, fmt.Errorf("shard: stage %d project: %w", i, err)
+			}
+		case StageJoin:
+			if len(b) < 1 {
+				return nil, fmt.Errorf("shard: stage %d join: truncated", i)
+			}
+			st.BuildIsLeft = b[0] == 1
+			b = b[1:]
+			if st.BCols, b, err = decodeInts(b); err != nil {
+				return nil, fmt.Errorf("shard: stage %d bcols: %w", i, err)
+			}
+			if st.PCols, b, err = decodeInts(b); err != nil {
+				return nil, fmt.Errorf("shard: stage %d pcols: %w", i, err)
+			}
+			if len(st.BCols) != len(st.PCols) {
+				return nil, fmt.Errorf("shard: stage %d: key arity mismatch %d/%d", i, len(st.BCols), len(st.PCols))
+			}
+			if st.Build, b, err = decodeRows(b); err != nil {
+				return nil, fmt.Errorf("shard: stage %d build: %w", i, err)
+			}
+			if len(b) < 1 {
+				return nil, fmt.Errorf("shard: stage %d residual flag: truncated", i)
+			}
+			st.HasResidual = b[0] == 1
+			b = b[1:]
+			if st.HasResidual {
+				if st.Residual, b, err = decodeCmps(b); err != nil {
+					return nil, fmt.Errorf("shard: stage %d residual: %w", i, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("shard: stage %d: unknown kind %d", i, st.Kind)
+		}
+		req.Stages = append(req.Stages, st)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("shard: %d trailing bytes after scatter", len(b))
+	}
+	return &req, nil
+}
+
+// ---------------------------------------------------------------------------
+// Partial.
+
+// EncodePartial serializes one shard's gathered partial.
+func EncodePartial(p *Partial) []byte {
+	b := []byte{tagPartial}
+	b = appendInt(b, p.Epoch)
+	b = appendUvarint(b, uint64(len(p.Rows)))
+	for i, t := range p.Rows {
+		b = appendInt(b, int64(p.Ord[i]))
+		b = wal.AppendTuple(b, t)
+	}
+	return b
+}
+
+// DecodePartial parses a partial. Never panics.
+func DecodePartial(b []byte) (*Partial, error) {
+	if len(b) < 1 || b[0] != tagPartial {
+		return nil, fmt.Errorf("shard: not a partial message")
+	}
+	b = b[1:]
+	var p Partial
+	var err error
+	if p.Epoch, b, err = decodeVarint(b); err != nil {
+		return nil, fmt.Errorf("shard: partial epoch: %w", err)
+	}
+	n, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("shard: partial count: %w", err)
+	}
+	p.Rows = make([]algebra.Tuple, 0, capBy(n, b))
+	p.Ord = make([]int32, 0, capBy(n, b))
+	for i := uint64(0); i < n; i++ {
+		var ord int64
+		if ord, b, err = decodeVarint(b); err != nil {
+			return nil, fmt.Errorf("shard: partial row %d ord: %w", i, err)
+		}
+		var t algebra.Tuple
+		if t, b, err = wal.DecodeTuple(b); err != nil {
+			return nil, fmt.Errorf("shard: partial row %d: %w", i, err)
+		}
+		p.Ord = append(p.Ord, int32(ord))
+		p.Rows = append(p.Rows, t)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("shard: %d trailing bytes after partial", len(b))
+	}
+	return &p, nil
+}
+
+// ---------------------------------------------------------------------------
+// StageReq.
+
+// EncodeStage serializes an epoch stage request. Map iteration is sorted so
+// identical requests encode to identical bytes.
+func EncodeStage(req *StageReq) []byte {
+	b := []byte{tagStage}
+	b = appendInt(b, req.Epoch)
+	b = appendInt(b, req.From)
+	if req.Base {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendUvarint(b, uint64(len(req.Drops)))
+	for _, d := range req.Drops {
+		b = appendInt(b, int64(d))
+	}
+	names := make([]string, 0, len(req.Rels))
+	for name := range req.Rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b = appendUvarint(b, uint64(len(names)))
+	for _, name := range names {
+		b = appendString(b, name)
+		b = appendSlice(b, req.Rels[name])
+	}
+	ids := make([]int, 0, len(req.Mats))
+	for id := range req.Mats {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	b = appendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = appendInt(b, int64(id))
+		b = appendSlice(b, req.Mats[int32(id)])
+	}
+	return b
+}
+
+// DecodeStage parses a stage request. Never panics.
+func DecodeStage(b []byte) (*StageReq, error) {
+	if len(b) < 1 || b[0] != tagStage {
+		return nil, fmt.Errorf("shard: not a stage message")
+	}
+	b = b[1:]
+	var req StageReq
+	var err error
+	if req.Epoch, b, err = decodeVarint(b); err != nil {
+		return nil, fmt.Errorf("shard: stage epoch: %w", err)
+	}
+	if req.From, b, err = decodeVarint(b); err != nil {
+		return nil, fmt.Errorf("shard: stage from: %w", err)
+	}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("shard: stage base flag: truncated")
+	}
+	req.Base = b[0] == 1
+	b = b[1:]
+	nd, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("shard: drop count: %w", err)
+	}
+	req.Drops = make([]int32, 0, capBy(nd, b))
+	for i := uint64(0); i < nd; i++ {
+		var d int64
+		if d, b, err = decodeVarint(b); err != nil {
+			return nil, fmt.Errorf("shard: drop %d: %w", i, err)
+		}
+		req.Drops = append(req.Drops, int32(d))
+	}
+	nr, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("shard: rel count: %w", err)
+	}
+	req.Rels = make(map[string]Slice, capBy(nr, b))
+	for i := uint64(0); i < nr; i++ {
+		var name string
+		if name, b, err = decodeString(b); err != nil {
+			return nil, fmt.Errorf("shard: rel %d name: %w", i, err)
+		}
+		var s Slice
+		if s, b, err = decodeSlice(b); err != nil {
+			return nil, fmt.Errorf("shard: rel %q: %w", name, err)
+		}
+		req.Rels[name] = s
+	}
+	nm, b, err := decodeUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("shard: mat count: %w", err)
+	}
+	req.Mats = make(map[int32]Slice, capBy(nm, b))
+	for i := uint64(0); i < nm; i++ {
+		var id int64
+		if id, b, err = decodeVarint(b); err != nil {
+			return nil, fmt.Errorf("shard: mat %d id: %w", i, err)
+		}
+		var s Slice
+		if s, b, err = decodeSlice(b); err != nil {
+			return nil, fmt.Errorf("shard: mat %d: %w", id, err)
+		}
+		req.Mats[int32(id)] = s
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("shard: %d trailing bytes after stage", len(b))
+	}
+	return &req, nil
+}
+
+// ---------------------------------------------------------------------------
+// Hello.
+
+// EncodeHello serializes a worker hello.
+func EncodeHello(h *Hello) []byte {
+	b := []byte{tagHello}
+	b = appendInt(b, int64(h.Shard))
+	b = appendInt(b, int64(h.Shards))
+	b = appendInt(b, int64(h.Partitions))
+	b = appendInt(b, h.Staged)
+	b = appendInt(b, h.Committed)
+	return b
+}
+
+// DecodeHello parses a hello. Never panics.
+func DecodeHello(b []byte) (*Hello, error) {
+	if len(b) < 1 || b[0] != tagHello {
+		return nil, fmt.Errorf("shard: not a hello message")
+	}
+	b = b[1:]
+	var h Hello
+	var err error
+	var x int64
+	if x, b, err = decodeVarint(b); err != nil {
+		return nil, fmt.Errorf("shard: hello shard: %w", err)
+	}
+	h.Shard = int(x)
+	if x, b, err = decodeVarint(b); err != nil {
+		return nil, fmt.Errorf("shard: hello shards: %w", err)
+	}
+	h.Shards = int(x)
+	if x, b, err = decodeVarint(b); err != nil {
+		return nil, fmt.Errorf("shard: hello partitions: %w", err)
+	}
+	h.Partitions = int(x)
+	if h.Staged, b, err = decodeVarint(b); err != nil {
+		return nil, fmt.Errorf("shard: hello staged: %w", err)
+	}
+	if h.Committed, b, err = decodeVarint(b); err != nil {
+		return nil, fmt.Errorf("shard: hello committed: %w", err)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("shard: %d trailing bytes after hello", len(b))
+	}
+	return &h, nil
+}
+
+// DecodeMessage dispatches on the tag byte and parses any shard wire
+// message; the fuzz entry point. Never panics.
+func DecodeMessage(b []byte) (any, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("shard: empty message")
+	}
+	switch b[0] {
+	case tagScatter:
+		return DecodeScatter(b)
+	case tagStage:
+		return DecodeStage(b)
+	case tagPartial:
+		return DecodePartial(b)
+	case tagHello:
+		return DecodeHello(b)
+	default:
+		return nil, fmt.Errorf("shard: unknown message tag %#x", b[0])
+	}
+}

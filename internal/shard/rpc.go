@@ -1,0 +1,125 @@
+package shard
+
+// net/rpc transport. Both directions carry pre-encoded shard wire messages
+// inside an opaque Blob, so the rpc layer adds framing and connection
+// management only — the payload format (and its fuzz-tested decoder) is
+// identical to the in-process harness.
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+)
+
+// Blob is the single net/rpc argument/reply type: an opaque, codec-encoded
+// shard message.
+type Blob struct {
+	B []byte
+}
+
+// Service is the rpc-exported worker wrapper.
+type Service struct {
+	w *Worker
+}
+
+// Hello returns the worker's encoded Hello.
+func (s *Service) Hello(_ *Blob, reply *Blob) error {
+	reply.B = EncodeHello(s.w.Hello())
+	return nil
+}
+
+// Stage decodes and durably applies a StageReq.
+func (s *Service) Stage(args *Blob, reply *Blob) error {
+	req, err := DecodeStage(args.B)
+	if err != nil {
+		return err
+	}
+	return s.w.Stage(req)
+}
+
+// Commit records an advisory commit; the epoch rides in a Hello-less varint
+// blob.
+func (s *Service) Commit(args *Blob, reply *Blob) error {
+	epoch, rest, err := decodeVarint(args.B)
+	if err != nil || len(rest) != 0 {
+		return fmt.Errorf("shard: bad commit payload")
+	}
+	return s.w.Commit(epoch)
+}
+
+// Scatter decodes a ScatterReq, runs it, and returns the encoded Partial.
+func (s *Service) Scatter(args *Blob, reply *Blob) error {
+	req, err := DecodeScatter(args.B)
+	if err != nil {
+		return err
+	}
+	p, err := s.w.Scatter(req)
+	if err != nil {
+		return err
+	}
+	reply.B = EncodePartial(p)
+	return nil
+}
+
+// Serve accepts rpc connections for the worker until the listener closes.
+// It blocks; run it in a goroutine (or as a worker process's main loop).
+func Serve(l net.Listener, w *Worker) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Shard", &Service{w: w}); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// RPCClient is the Client over one net/rpc connection.
+type RPCClient struct {
+	c *rpc.Client
+}
+
+// Dial connects to a worker's rpc listener.
+func Dial(addr string) (*RPCClient, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RPCClient{c: c}, nil
+}
+
+// Hello implements Client.
+func (c *RPCClient) Hello() (*Hello, error) {
+	var reply Blob
+	if err := c.c.Call("Shard.Hello", &Blob{}, &reply); err != nil {
+		return nil, err
+	}
+	return DecodeHello(reply.B)
+}
+
+// Stage implements Client.
+func (c *RPCClient) Stage(req *StageReq) error {
+	var reply Blob
+	return c.c.Call("Shard.Stage", &Blob{B: EncodeStage(req)}, &reply)
+}
+
+// Commit implements Client.
+func (c *RPCClient) Commit(epoch int64) error {
+	var reply Blob
+	return c.c.Call("Shard.Commit", &Blob{B: appendInt(nil, epoch)}, &reply)
+}
+
+// Scatter implements Client.
+func (c *RPCClient) Scatter(req *ScatterReq) (*Partial, error) {
+	var reply Blob
+	if err := c.c.Call("Shard.Scatter", &Blob{B: EncodeScatter(req)}, &reply); err != nil {
+		return nil, err
+	}
+	return DecodePartial(reply.B)
+}
+
+// Close implements Client.
+func (c *RPCClient) Close() error { return c.c.Close() }

@@ -1,0 +1,451 @@
+package shard
+
+// Worker: owns one contiguous partition range, holds a bounded window of
+// staged epoch states, executes scatter pipelines against them, and — when
+// given a directory — persists every stage request to a CRC-framed stage log
+// before acknowledging, so a SIGKILLed worker recovers its staged epochs by
+// replay.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/algebra"
+	"repro/internal/wal"
+)
+
+// keepStates bounds the in-memory epoch window per worker. The coordinator
+// commits (prunes) after every install, so the window only has to cover
+// epochs between two installs plus in-flight readers.
+const keepStates = 8
+
+// stageLogName is the per-worker stage log file.
+const stageLogName = "stage.log"
+
+// state is one staged epoch's image of the shard's slices. States are
+// immutable once entered into the window: applying a delta builds fresh maps
+// (sharing unchanged Slice values), so scatters read them without locks.
+type state struct {
+	rels map[string]Slice
+	mats map[int32]Slice
+}
+
+// Worker executes one shard. Methods are safe for concurrent use.
+type Worker struct {
+	shard int
+	asg   Assignment
+	dir   string // "" disables durability (in-proc tests)
+
+	mu        sync.Mutex
+	closed    bool
+	logF      *os.File
+	states    map[int64]*state
+	order     []int64 // staged epochs, ascending
+	staged    int64   // highest durably staged epoch, -1 none
+	committed int64   // highest commit seen, -1 none
+}
+
+// NewWorker creates a worker for shard index `shard` of the assignment. A
+// non-empty dir enables the durable stage log; existing log contents are
+// replayed (torn or corrupt tails truncate, exactly like the WAL).
+func NewWorker(shard int, asg Assignment, dir string) (*Worker, error) {
+	asg = asg.Norm()
+	if shard < 0 || shard >= asg.Shards {
+		return nil, fmt.Errorf("shard: worker index %d out of range [0,%d)", shard, asg.Shards)
+	}
+	w := &Worker{
+		shard:     shard,
+		asg:       asg,
+		dir:       dir,
+		states:    make(map[int64]*state),
+		staged:    -1,
+		committed: -1,
+	}
+	if dir == "" {
+		return w, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := w.recover(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, stageLogName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w.logF = f
+	return w, nil
+}
+
+// recover replays the stage log, applying each staged epoch in order, and
+// truncates the log after the last intact frame.
+func (w *Worker) recover() error {
+	path := filepath.Join(w.dir, stageLogName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	good := 0
+	rest := data
+	for len(rest) > 0 {
+		payload, next, n, err := wal.NextFrame(rest)
+		if err != nil {
+			break // torn or corrupt tail: recover the prefix
+		}
+		req, err := DecodeStage(payload)
+		if err != nil {
+			break
+		}
+		if applyErr := w.applyLocked(req); applyErr != nil {
+			return fmt.Errorf("shard: stage log replay at offset %d: %w", good, applyErr)
+		}
+		good += n
+		rest = next
+	}
+	if good != len(data) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Hello reports the worker's identity and durable progress.
+func (w *Worker) Hello() *Hello {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return &Hello{
+		Shard:      w.shard,
+		Shards:     w.asg.Shards,
+		Partitions: w.asg.Partitions,
+		Staged:     w.staged,
+		Committed:  w.committed,
+	}
+}
+
+// Stage durably installs one epoch: the request is framed, appended to the
+// stage log, and fsynced BEFORE the in-memory window is updated and the call
+// acknowledges — the staging half of the two-phase install. Re-staging an
+// epoch at or below the staged watermark is an idempotent no-op.
+func (w *Worker) Stage(req *StageReq) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("shard %d: worker closed", w.shard)
+	}
+	if req.Epoch <= w.staged {
+		return nil
+	}
+	if !req.Base && w.staged < req.From {
+		return fmt.Errorf("shard %d: delta from epoch %d but staged only %d", w.shard, req.From, w.staged)
+	}
+	if w.logF != nil {
+		if req.Base {
+			if err := w.rewriteLogLocked(req); err != nil {
+				return err
+			}
+		} else {
+			frame := wal.AppendFrame(nil, EncodeStage(req))
+			if _, err := w.logF.Write(frame); err != nil {
+				return err
+			}
+			if err := w.logF.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return w.applyLocked(req)
+}
+
+// rewriteLogLocked replaces the stage log with a single Base frame
+// (tmp-write, fsync, rename, dir fsync), resetting growth after bootstraps.
+func (w *Worker) rewriteLogLocked(req *StageReq) error {
+	path := filepath.Join(w.dir, stageLogName)
+	tmp := path + ".tmp"
+	frame := wal.AppendFrame(nil, EncodeStage(req))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if w.logF != nil {
+		w.logF.Close()
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, err := os.Open(w.dir)
+	if err == nil {
+		d.Sync()
+		d.Close()
+	}
+	w.logF, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return err
+}
+
+// applyLocked enters req's epoch into the state window.
+func (w *Worker) applyLocked(req *StageReq) error {
+	var base *state
+	if req.Base || len(w.order) == 0 {
+		base = &state{rels: map[string]Slice{}, mats: map[int32]Slice{}}
+	} else {
+		base = w.states[w.order[len(w.order)-1]]
+	}
+	st := &state{
+		rels: make(map[string]Slice, len(base.rels)+len(req.Rels)),
+		mats: make(map[int32]Slice, len(base.mats)+len(req.Mats)),
+	}
+	for k, v := range base.rels {
+		st.rels[k] = v
+	}
+	for k, v := range base.mats {
+		st.mats[k] = v
+	}
+	for _, id := range req.Drops {
+		delete(st.mats, id)
+	}
+	for k, v := range req.Rels {
+		st.rels[k] = v
+	}
+	for k, v := range req.Mats {
+		st.mats[k] = v
+	}
+	w.states[req.Epoch] = st
+	w.order = append(w.order, req.Epoch)
+	w.staged = req.Epoch
+	for len(w.order) > keepStates {
+		delete(w.states, w.order[0])
+		w.order = w.order[1:]
+	}
+	return nil
+}
+
+// Commit records the coordinator's gate flip and prunes states below it.
+// Advisory: correctness never depends on a commit arriving (the log and the
+// staged window carry the install).
+func (w *Worker) Commit(epoch int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if epoch > w.committed {
+		w.committed = epoch
+	}
+	keep := w.order[:0]
+	for _, e := range w.order {
+		if e >= epoch {
+			keep = append(keep, e)
+		} else {
+			delete(w.states, e)
+		}
+	}
+	w.order = keep
+	return nil
+}
+
+// Close releases the stage log handle; further Stage and Scatter calls fail
+// (tests use a closed worker to stand in for a dead process).
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	if w.logF != nil {
+		err := w.logF.Close()
+		w.logF = nil
+		return err
+	}
+	return nil
+}
+
+// Scatter runs the request's pipeline over this shard's slice of the leaf at
+// the requested (staged) epoch. States are immutable, so execution happens
+// outside the lock.
+func (w *Worker) Scatter(req *ScatterReq) (*Partial, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("shard %d: worker closed", w.shard)
+	}
+	st := w.states[req.Epoch]
+	window := append([]int64(nil), w.order...)
+	w.mu.Unlock()
+	if st == nil {
+		return nil, fmt.Errorf("shard %d: epoch %d not staged (window %v)", w.shard, req.Epoch, window)
+	}
+	var leaf Slice
+	var ok bool
+	if req.Leaf.Mat {
+		leaf, ok = st.mats[req.Leaf.ID]
+	} else {
+		leaf, ok = st.rels[req.Leaf.Rel]
+	}
+	if !ok {
+		return nil, fmt.Errorf("shard %d: unknown scatter leaf %+v at epoch %d", w.shard, req.Leaf, req.Epoch)
+	}
+	rows, ord := leaf.Rows, leaf.Idx
+	for si, stg := range req.Stages {
+		var err error
+		rows, ord, err = runStage(stg, rows, ord)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: stage %d: %w", w.shard, si, err)
+		}
+	}
+	return &Partial{Epoch: req.Epoch, Rows: rows, Ord: ord}, nil
+}
+
+// runStage evaluates one pipeline stage, carrying the scatter-leaf origin
+// index of every surviving row. The join replays the local broadcast join
+// exactly: buckets in build-row order, probe rows in pipeline order, so the
+// emission order within one probe row equals single-node execution.
+func runStage(stg Stage, rows []algebra.Tuple, ord []int32) ([]algebra.Tuple, []int32, error) {
+	switch stg.Kind {
+	case StageFilter:
+		if err := checkWidth(rows, maxCmpIdx(stg.Pred)); err != nil {
+			return nil, nil, err
+		}
+		bp := algebra.NewBoundPred(stg.Pred)
+		outR := make([]algebra.Tuple, 0, len(rows))
+		outO := make([]int32, 0, len(rows))
+		for i, t := range rows {
+			if bp.Eval(t) {
+				outR = append(outR, t)
+				outO = append(outO, ord[i])
+			}
+		}
+		return outR, outO, nil
+
+	case StageProject:
+		if minIdx(stg.Cols) < 0 {
+			return nil, nil, fmt.Errorf("negative projection index")
+		}
+		if err := checkWidth(rows, maxIdx(stg.Cols)); err != nil {
+			return nil, nil, err
+		}
+		outR := make([]algebra.Tuple, len(rows))
+		for i, t := range rows {
+			nt := make(algebra.Tuple, len(stg.Cols))
+			for j, c := range stg.Cols {
+				nt[j] = t[c]
+			}
+			outR[i] = nt
+		}
+		return outR, ord, nil
+
+	case StageJoin:
+		if minIdx(stg.PCols) < 0 || minIdx(stg.BCols) < 0 {
+			return nil, nil, fmt.Errorf("negative join key index")
+		}
+		if err := checkWidth(rows, maxIdx(stg.PCols)); err != nil {
+			return nil, nil, err
+		}
+		if err := checkWidth(stg.Build, maxIdx(stg.BCols)); err != nil {
+			return nil, nil, fmt.Errorf("build side: %w", err)
+		}
+		buckets := make(map[uint64][]algebra.Tuple, len(stg.Build))
+		for _, bt := range stg.Build {
+			h := bt.HashCols(stg.BCols)
+			buckets[h] = append(buckets[h], bt)
+		}
+		var res algebra.BoundPred
+		if stg.HasResidual {
+			res = algebra.NewBoundPred(stg.Residual)
+		}
+		resMax := maxCmpIdx(stg.Residual)
+		outR := make([]algebra.Tuple, 0, len(rows))
+		outO := make([]int32, 0, len(rows))
+		for i, pt := range rows {
+			for _, bt := range buckets[pt.HashCols(stg.PCols)] {
+				if !algebra.EqualOn(pt, stg.PCols, bt, stg.BCols) {
+					continue
+				}
+				lt, rt := bt, pt
+				if !stg.BuildIsLeft {
+					lt, rt = pt, bt
+				}
+				row := make(algebra.Tuple, len(lt)+len(rt))
+				copy(row, lt)
+				copy(row[len(lt):], rt)
+				if stg.HasResidual {
+					if resMax >= len(row) {
+						return nil, nil, fmt.Errorf("residual index %d out of range for width %d", resMax, len(row))
+					}
+					if !res.Eval(row) {
+						continue
+					}
+				}
+				outR = append(outR, row)
+				outO = append(outO, ord[i])
+			}
+		}
+		return outR, outO, nil
+	}
+	return nil, nil, fmt.Errorf("unknown stage kind %d", stg.Kind)
+}
+
+// maxIdx returns the largest index referenced (-1 for none).
+func maxIdx(cols []int) int {
+	m := -1
+	for _, c := range cols {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// maxCmpIdx returns the largest tuple index a bound predicate touches.
+func maxCmpIdx(cs []algebra.BoundCmp) int {
+	m := -1
+	for _, c := range cs {
+		if c.LIdx > m {
+			m = c.LIdx
+		}
+		if c.RIdx > m {
+			m = c.RIdx
+		}
+	}
+	return m
+}
+
+// checkWidth validates every row is wide enough for the largest referenced
+// index — the light structural check that turns malformed requests into
+// errors instead of panics.
+func checkWidth(rows []algebra.Tuple, need int) error {
+	if need < 0 {
+		return nil
+	}
+	for i, t := range rows {
+		if need >= len(t) {
+			return fmt.Errorf("row %d has width %d, index %d referenced", i, len(t), need)
+		}
+	}
+	return nil
+}
+
+// minIdx returns the smallest index referenced (0 for none). Negative
+// column indexes are impossible from Lower but reachable from the wire;
+// projection and join-key stages reject them (filter predicates treat
+// negative indexes as literal operands, matching BoundPred semantics).
+func minIdx(cols []int) int {
+	m := 0
+	for _, c := range cols {
+		if c < m {
+			m = c
+		}
+	}
+	return m
+}

@@ -75,6 +75,7 @@ type SnapshotStore struct {
 
 	mu     sync.Mutex
 	retain bool
+	keep   int
 	base   int64
 	hist   []*Snapshot
 }
@@ -107,6 +108,24 @@ func (st *SnapshotStore) StartAt(epoch int64) {
 func (st *SnapshotStore) RetainHistory(on bool) {
 	st.mu.Lock()
 	st.retain = on
+	st.mu.Unlock()
+}
+
+// KeepRecent makes the store retain a sliding window of the n most recently
+// published snapshots (seeded with the current one, if any), so readers can
+// pin an epoch slightly behind the writer: the sharded serving gate executes
+// at its committed epoch while the local store publishes ahead during the
+// next refresh cycle. Unlike RetainHistory the window is bounded — each
+// publish drops versions that fall out of it. n <= 0 disables the window.
+// Full retention, when enabled, subsumes it.
+func (st *SnapshotStore) KeepRecent(n int) {
+	st.mu.Lock()
+	st.keep = n
+	if n > 0 && len(st.hist) == 0 {
+		if cur := st.cur.Load(); cur != nil {
+			st.hist = append(st.hist, cur)
+		}
+	}
 	st.mu.Unlock()
 }
 
@@ -156,8 +175,16 @@ func (st *SnapshotStore) PublishState(db *Database, mats map[int]*Relation) *Sna
 		st.mu.Unlock()
 	}
 	st.mu.Lock()
-	if st.retain {
+	switch {
+	case st.retain:
 		st.hist = append(st.hist, s)
+	case st.keep > 0:
+		st.hist = append(st.hist, s)
+		if len(st.hist) > st.keep {
+			// Copy rather than reslice so evicted snapshots are not pinned by
+			// the backing array.
+			st.hist = append([]*Snapshot(nil), st.hist[len(st.hist)-st.keep:]...)
+		}
 	}
 	st.mu.Unlock()
 	st.cur.Store(s)

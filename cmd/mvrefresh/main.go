@@ -13,8 +13,9 @@
 // -workers bounds the refresh scheduler's worker pool (0 = GOMAXPROCS,
 // 1 = sequential); -partitions turns on partition-parallel operators inside
 // each differential, merge and recomputation (hash-partitioned joins,
-// morsel scans; <=1 = sequential operators). Maintained results are
-// identical at any setting of either flag.
+// morsel scans; <=1 = sequential operators); -exec selects the vectorized
+// columnar batch engine (default) or the row-at-a-time engine. Maintained
+// results are identical at any setting of every flag.
 //
 // -wal-dir switches the nightly batches onto the durable streaming path:
 // updates flow through the bounded ingest queue, every micro-batch is
@@ -48,12 +49,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "data generator seed")
 	workers := flag.Int("workers", 0, "refresh worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	partitions := flag.Int("partitions", 1, "hash partitions per operator (<=1 = sequential operators)")
+	execMode := flag.String("exec", defaultExecMode(), "operator engine: batch (vectorized columnar) or row")
 	walDir := flag.String("wal-dir", "", "write-ahead log directory; enables the durable streaming path")
 	fsync := flag.Bool("fsync", false, "fsync group commits (with -wal-dir): durable against machine crashes")
 	commitWindow := flag.Duration("commit-window", 2*time.Millisecond, "group-commit coalescing window (with -wal-dir)")
 	batchRows := flag.Int("batch-rows", 2048, "max ops per refresh micro-batch (with -wal-dir)")
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "max linger forming a micro-batch (with -wal-dir)")
 	flag.Parse()
+
+	switch *execMode {
+	case "batch":
+		storage.SetDefaultExecBatch(true)
+	case "row":
+		storage.SetDefaultExecBatch(false)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -exec mode %q (want batch or row)\n", *execMode)
+		os.Exit(2)
+	}
 
 	cat := tpcd.NewCatalog(*sf, true)
 	fmt.Printf("generating TPC-D at SF %g…\n", *sf)
@@ -98,8 +110,8 @@ func main() {
 	rt := plan.NewRuntime(db)
 	rt.SetWorkers(*workers)
 	rt.SetPartitions(*partitions)
-	fmt.Printf("materialized %d results (refresh workers: %d, 0 = GOMAXPROCS; operator partitions: %d)\n\n",
-		len(plan.Eval.MS.Fulls.Full), *workers, *partitions)
+	fmt.Printf("materialized %d results (refresh workers: %d, 0 = GOMAXPROCS; operator partitions: %d; engine: %s)\n\n",
+		len(plan.Eval.MS.Fulls.Full), *workers, *partitions, *execMode)
 
 	for night := 1; night <= *nights; night++ {
 		tpcd.LogUniformUpdates(cat, db, updated, *pct, *seed+int64(night))
@@ -210,4 +222,13 @@ func durableNights(plan *core.MaintenancePlan, db *storage.Database, cat *catalo
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// defaultExecMode renders the process default engine choice (MVOPT_EXEC, see
+// storage.DefaultExecBatch) as the -exec flag default.
+func defaultExecMode() string {
+	if storage.DefaultExecBatch() {
+		return "batch"
+	}
+	return "row"
 }

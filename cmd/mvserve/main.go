@@ -48,6 +48,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -57,6 +58,7 @@ func main() {
 	cycles := flag.Int("cycles", 3, "refresh cycles the writer runs (per phase with -adapt)")
 	workers := flag.Int("workers", 0, "refresh worker pool size (0 = GOMAXPROCS)")
 	partitions := flag.Int("partitions", 1, "hash partitions per operator (<=1 = sequential operators)")
+	execMode := flag.String("exec", defaultExecMode(), "operator engine: batch (vectorized columnar) or row")
 	cacheMB := flag.Float64("cache", 64, "dynamic result cache budget in MB (negative disables)")
 	check := flag.Bool("check", false, "verify sampled answers against step-boundary recomputation")
 	adapt := flag.Bool("adapt", false, "drifting workload with online re-selection, vs a static baseline")
@@ -67,6 +69,16 @@ func main() {
 	shards := flag.Int("shards", 0, "serve through a scatter-gather worker fleet of this size (0 = off)")
 	shardAddrs := flag.String("shard-addrs", "", "comma-separated mvshard addresses (with -shards; empty boots an in-process fleet)")
 	flag.Parse()
+
+	switch *execMode {
+	case "batch":
+		storage.SetDefaultExecBatch(true)
+	case "row":
+		storage.SetDefaultExecBatch(false)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -exec mode %q (want batch or row)\n", *execMode)
+		os.Exit(2)
+	}
 
 	if *shards > 0 {
 		var addrs []string
@@ -154,4 +166,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mvserve: FAILED (inconsistent results or diverged views)")
 		os.Exit(1)
 	}
+}
+
+// defaultExecMode renders the process default engine choice (MVOPT_EXEC, see
+// storage.DefaultExecBatch) as the -exec flag default.
+func defaultExecMode() string {
+	if storage.DefaultExecBatch() {
+		return "batch"
+	}
+	return "row"
 }

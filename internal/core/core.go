@@ -430,10 +430,29 @@ func (r *Runtime) SetWorkers(n int) { r.Mt.Workers = n }
 // adaptation swaps preserve it. Call before refreshing or serving
 // concurrently.
 func (r *Runtime) SetPartitions(n int) {
-	var par storage.Par
+	par := storage.Par{Batch: r.Ex.Par.Batch} // engine choice survives repartitioning
 	if n > 1 {
-		par = storage.Par{Partitions: n, Workers: n}
+		par.Partitions, par.Workers = n, n
 	}
+	r.setPar(par)
+}
+
+// SetExecBatch selects the operator engine: true routes every operator
+// through the vectorized columnar batch kernels (the default, see
+// storage.DefaultExecBatch), false through the row-at-a-time kernels.
+// Results are byte-identical either way — the flag only chooses the
+// execution strategy — and the setting is carried on the plan's diff.Eval
+// exactly like the partition count, so adaptation swaps preserve it. Call
+// before refreshing or serving concurrently.
+func (r *Runtime) SetExecBatch(on bool) {
+	par := r.Ex.Par
+	par.Batch = on
+	r.setPar(par)
+}
+
+// setPar installs a parallel/engine configuration runtime-wide: executor,
+// plan evaluation state (so swaps inherit it), and the serving gate.
+func (r *Runtime) setPar(par storage.Par) {
 	r.Ex.Par = par
 	r.Plan.Eval.Par = par
 	r.srvMu.Lock()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dag"
 	"repro/internal/diff"
@@ -205,6 +206,18 @@ func TestConcurrentQueriesSeeStepBoundaryStates(t *testing.T) {
 	for c := 0; c < cycles; c++ {
 		tpcd.LogUniformUpdates(cat, rt.Ex.DB, updatedRels, 4, int64(300+c))
 		rt.Refresh()
+	}
+	// The refresh cycles can outrun the readers (the batch engine makes
+	// them fast); keep serving until at least one sample lands so the
+	// consistency check below is never vacuous.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		mu.Lock()
+		n := len(samples)
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
 	}
 	close(done)
 	wg.Wait()

@@ -11,6 +11,7 @@ package core
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/shard"
 	"repro/internal/storage"
@@ -154,6 +155,19 @@ func TestShardedConcurrentReaders(t *testing.T) {
 		if err := sr.Refresh(); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// The refresh cycles can outrun the readers (the batch engine makes
+	// them fast), and answers racing an install fall back to the
+	// coordinator; keep serving until at least one scattered answer lands
+	// so the per-epoch and scatter checks below are never vacuous.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if (n > 0 && sr.Stats().Scattered > 0) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
 	}
 	close(stop)
 	wg.Wait()

@@ -1,0 +1,802 @@
+package exec
+
+// Vectorized columnar batch kernels and the engine dispatch layer. Every
+// kernel here is output-byte-identical to its row twin in ops.go/parallel.go
+// — same rows, same order, same Value payloads — because:
+//
+//   - Selection runs over typed column vectors (storage.ColView) into a
+//     selection Bitmap whose bit order is row order; the gather pass walks
+//     set bits ascending, reproducing the row filter's emission order, and
+//     copies output values from the ORIGINAL tuples, never re-encoding them.
+//   - The hash join keys on cached hash columns (ColView.KeyHashes — the
+//     same algebra.Tuple.HashCols the row join computes inline), keeps
+//     build-bucket insertion order and probe order, confirms collisions with
+//     the same EqualOn, and evaluates residual conjuncts two-sided with the
+//     same Value.Compare — so every emit decision and its order match the
+//     row join exactly. The projection to the operator's target schema is
+//     fused into the emit (no wide l++r intermediate row is ever built).
+//   - Aggregation/dedup/minus consume cached hash columns partition-wise
+//     with the same state machines as the row engine.
+//
+// The exec* dispatch wrappers at the bottom route each plan operator to the
+// batch or row kernel from Par.Batch; all three plan interpreters (run.go,
+// maintain.go, schedule.go) call only the wrappers, so the engines stay
+// interchangeable everywhere.
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/dag"
+	"repro/internal/storage"
+)
+
+// ---------------------------------------------------------------------------
+// Selection: predicate → selection bitmap over column vectors.
+
+// batchSelBitmap evaluates a conjunctive predicate into a selection bitmap.
+// The first conjunct fills the bitmap with a dense typed loop; later
+// conjuncts compose by clearing set bits (selection-vector composition).
+// Large inputs evaluate morsel-parallel over word-aligned row ranges, so no
+// two workers touch a bitmap word.
+func batchSelBitmap(in *storage.Relation, pred algebra.Pred, par storage.Par) *Bitmap {
+	n := in.Len()
+	bm := NewBitmap(n)
+	cmps := pred.Bind(in.Schema()).Cmps()
+	if len(cmps) == 0 {
+		bm.SetAll()
+		return bm
+	}
+	cv := in.ColView()
+	rows := in.Rows()
+	eval := func(lo, hi int) {
+		for ci := range cmps {
+			applyCmpRange(bm, ci == 0, cmps[ci], cv, rows, lo, hi)
+		}
+	}
+	par = par.Norm()
+	if !par.Enabled() || n < storage.ParMinRows {
+		eval(0, n)
+		return bm
+	}
+	ranges := wordAlignedRanges(n, par.Partitions)
+	forRanges(ranges, par.Workers, func(_, lo, hi int) { eval(lo, hi) })
+	return bm
+}
+
+// wordAlignedRanges splits [0, n) into up to parts contiguous ranges whose
+// boundaries (except the final n) are multiples of 64, so concurrent workers
+// never share a bitmap word.
+func wordAlignedRanges(n, parts int) [][2]int {
+	words := (n + 63) >> 6
+	wr := storage.MorselRanges(words, parts)
+	out := make([][2]int, len(wr))
+	for i, r := range wr {
+		lo, hi := r[0]<<6, r[1]<<6
+		if hi > n {
+			hi = n
+		}
+		out[i] = [2]int{lo, hi}
+	}
+	return out
+}
+
+// applyCmpRange applies one compiled conjunct over rows [lo, hi): dense
+// typed loops when both sides resolve to one payload class, a row-at-a-time
+// fallback (same Value.Compare semantics) otherwise.
+func applyCmpRange(bm *Bitmap, first bool, c algebra.BoundCmp, cv *storage.ColView, rows []algebra.Tuple, lo, hi int) {
+	op := c.Op
+	// Normalize literal-vs-column to column-vs-literal by swapping the
+	// comparison direction.
+	if c.LIdx < 0 && c.RIdx >= 0 {
+		c.LIdx, c.RIdx = c.RIdx, -1
+		c.LVal, c.RVal = c.RVal, c.LVal
+		op = swapOp(op)
+	}
+	switch {
+	case c.LIdx < 0 && c.RIdx < 0:
+		applyConst(bm, first, lo, hi, opOK(op, c.LVal.Compare(c.RVal)))
+	case c.RIdx < 0:
+		applyColConst(bm, first, op, cv.Col(c.LIdx), c.RVal, rows, c.LIdx, lo, hi)
+	default:
+		applyColCol(bm, first, op, cv.Col(c.LIdx), cv.Col(c.RIdx), rows, c, lo, hi)
+	}
+}
+
+// swapOp mirrors a comparison operator across swapped operands.
+func swapOp(op algebra.CmpOp) algebra.CmpOp {
+	switch op {
+	case algebra.LT:
+		return algebra.GT
+	case algebra.LE:
+		return algebra.GE
+	case algebra.GT:
+		return algebra.LT
+	case algebra.GE:
+		return algebra.LE
+	}
+	return op
+}
+
+// opOK translates a three-way comparison into the operator's verdict.
+func opOK(op algebra.CmpOp, cmp int) bool {
+	switch op {
+	case algebra.EQ:
+		return cmp == 0
+	case algebra.NE:
+		return cmp != 0
+	case algebra.LT:
+		return cmp < 0
+	case algebra.LE:
+		return cmp <= 0
+	case algebra.GT:
+		return cmp > 0
+	case algebra.GE:
+		return cmp >= 0
+	}
+	return false
+}
+
+// applyConst folds a constant conjunct verdict into the bitmap.
+func applyConst(bm *Bitmap, first bool, lo, hi int, ok bool) {
+	switch {
+	case ok && first:
+		bm.SetRange(lo, hi)
+	case !ok && !first:
+		bm.ClearRange(lo, hi)
+	}
+}
+
+// applyColConst applies column-op-literal. The common same-class cases run
+// dense typed loops; numeric cross-class goes value-at-a-time on the vector;
+// class-ordered cases (numeric vs string) collapse to a constant verdict.
+func applyColConst(bm *Bitmap, first bool, op algebra.CmpOp, v *storage.ColVec, lit algebra.Value, rows []algebra.Tuple, col int, lo, hi int) {
+	litRep := litRepOf(lit)
+	switch {
+	case v.Rep == storage.RepInt && litRep == storage.RepInt:
+		denseConstOrd(bm, first, v.I, lit.I, op, lo, hi)
+	case v.Rep == storage.RepFloat && litRep == storage.RepFloat:
+		denseConstFloat(bm, first, v.F, lit.F, op, lo, hi)
+	case v.Rep == storage.RepStr && litRep == storage.RepStr:
+		denseConstOrd(bm, first, v.S, lit.S, op, lo, hi)
+	case v.Rep == storage.RepInt && litRep == storage.RepFloat:
+		// Exact int-vs-float comparison through Value.Compare, reading the
+		// column vector (no tuple loads).
+		xs := v.I
+		test := func(i int) bool { return opOK(op, algebra.NewInt(xs[i]).Compare(lit)) }
+		applyTest(bm, first, lo, hi, test)
+	case v.Rep == storage.RepFloat && litRep == storage.RepInt:
+		xs := v.F
+		test := func(i int) bool { return opOK(op, algebra.NewFloat(xs[i]).Compare(lit)) }
+		applyTest(bm, first, lo, hi, test)
+	case v.Rep == storage.RepInt && litRep == storage.RepStr,
+		v.Rep == storage.RepFloat && litRep == storage.RepStr:
+		// Every numeric orders before every string: cmp is -1 for all rows.
+		applyConst(bm, first, lo, hi, opOK(op, -1))
+	case v.Rep == storage.RepStr && litRep != storage.RepStr:
+		applyConst(bm, first, lo, hi, opOK(op, 1))
+	default:
+		// Mixed-class column: evaluate through the rows.
+		test := func(i int) bool { return opOK(op, rows[i][col].Compare(lit)) }
+		applyTest(bm, first, lo, hi, test)
+	}
+}
+
+// applyColCol applies column-op-column; same-class pairs run dense loops.
+func applyColCol(bm *Bitmap, first bool, op algebra.CmpOp, l, r *storage.ColVec, rows []algebra.Tuple, c algebra.BoundCmp, lo, hi int) {
+	switch {
+	case l.Rep == storage.RepInt && r.Rep == storage.RepInt:
+		denseColsOrd(bm, first, l.I, r.I, op, lo, hi)
+	case l.Rep == storage.RepFloat && r.Rep == storage.RepFloat:
+		xs, ys := l.F, r.F
+		test := func(i int) bool { return opOK(op, cmpFloat(xs[i], ys[i])) }
+		applyTest(bm, first, lo, hi, test)
+	case l.Rep == storage.RepStr && r.Rep == storage.RepStr:
+		denseColsOrd(bm, first, l.S, r.S, op, lo, hi)
+	default:
+		li, ri := c.LIdx, c.RIdx
+		test := func(i int) bool { return opOK(op, rows[i][li].Compare(rows[i][ri])) }
+		applyTest(bm, first, lo, hi, test)
+	}
+}
+
+// applyTest routes a per-row test through the fill/compose duality.
+func applyTest(bm *Bitmap, first bool, lo, hi int, test func(i int) bool) {
+	if first {
+		for i := lo; i < hi; i++ {
+			if test(i) {
+				bm.Set(i)
+			}
+		}
+		return
+	}
+	bm.FilterRange(lo, hi, test)
+}
+
+// litRepOf classifies a literal the way storage classifies column payloads.
+func litRepOf(v algebra.Value) storage.ColRep {
+	switch v.Kind {
+	case catalog.Int, catalog.Date:
+		return storage.RepInt
+	case catalog.Float:
+		return storage.RepFloat
+	}
+	return storage.RepStr
+}
+
+// denseConstOrd is the dense column-vs-literal loop for totally ordered
+// payloads (int64, string — where Go's operators agree with Value.Compare).
+func denseConstOrd[T int64 | string](bm *Bitmap, first bool, xs []T, c T, op algebra.CmpOp, lo, hi int) {
+	if first {
+		switch op {
+		case algebra.EQ:
+			for i := lo; i < hi; i++ {
+				if xs[i] == c {
+					bm.Set(i)
+				}
+			}
+		case algebra.NE:
+			for i := lo; i < hi; i++ {
+				if xs[i] != c {
+					bm.Set(i)
+				}
+			}
+		case algebra.LT:
+			for i := lo; i < hi; i++ {
+				if xs[i] < c {
+					bm.Set(i)
+				}
+			}
+		case algebra.LE:
+			for i := lo; i < hi; i++ {
+				if xs[i] <= c {
+					bm.Set(i)
+				}
+			}
+		case algebra.GT:
+			for i := lo; i < hi; i++ {
+				if xs[i] > c {
+					bm.Set(i)
+				}
+			}
+		case algebra.GE:
+			for i := lo; i < hi; i++ {
+				if xs[i] >= c {
+					bm.Set(i)
+				}
+			}
+		}
+		return
+	}
+	switch op {
+	case algebra.EQ:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] == c })
+	case algebra.NE:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] != c })
+	case algebra.LT:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] < c })
+	case algebra.LE:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] <= c })
+	case algebra.GT:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] > c })
+	case algebra.GE:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] >= c })
+	}
+}
+
+// denseColsOrd is the dense column-vs-column loop for ordered payloads.
+func denseColsOrd[T int64 | string](bm *Bitmap, first bool, xs, ys []T, op algebra.CmpOp, lo, hi int) {
+	if first {
+		switch op {
+		case algebra.EQ:
+			for i := lo; i < hi; i++ {
+				if xs[i] == ys[i] {
+					bm.Set(i)
+				}
+			}
+		case algebra.NE:
+			for i := lo; i < hi; i++ {
+				if xs[i] != ys[i] {
+					bm.Set(i)
+				}
+			}
+		case algebra.LT:
+			for i := lo; i < hi; i++ {
+				if xs[i] < ys[i] {
+					bm.Set(i)
+				}
+			}
+		case algebra.LE:
+			for i := lo; i < hi; i++ {
+				if xs[i] <= ys[i] {
+					bm.Set(i)
+				}
+			}
+		case algebra.GT:
+			for i := lo; i < hi; i++ {
+				if xs[i] > ys[i] {
+					bm.Set(i)
+				}
+			}
+		case algebra.GE:
+			for i := lo; i < hi; i++ {
+				if xs[i] >= ys[i] {
+					bm.Set(i)
+				}
+			}
+		}
+		return
+	}
+	switch op {
+	case algebra.EQ:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] == ys[i] })
+	case algebra.NE:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] != ys[i] })
+	case algebra.LT:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] < ys[i] })
+	case algebra.LE:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] <= ys[i] })
+	case algebra.GT:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] > ys[i] })
+	case algebra.GE:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] >= ys[i] })
+	}
+}
+
+// denseConstFloat is the dense float column-vs-literal loop, reproducing
+// Value.Compare's NaN order (NaN is a singleton class BEFORE every other
+// numeric, so e.g. NaN < c holds for every non-NaN c even though the IEEE
+// comparison is false).
+func denseConstFloat(bm *Bitmap, first bool, xs []float64, c float64, op algebra.CmpOp, lo, hi int) {
+	if c != c { // NaN literal
+		switch op {
+		case algebra.EQ, algebra.LE:
+			applyTest(bm, first, lo, hi, func(i int) bool { return xs[i] != xs[i] })
+		case algebra.NE, algebra.GT:
+			applyTest(bm, first, lo, hi, func(i int) bool { return xs[i] == xs[i] })
+		case algebra.GE:
+			applyConst(bm, first, lo, hi, true)
+		case algebra.LT:
+			applyConst(bm, first, lo, hi, false)
+		}
+		return
+	}
+	if first {
+		switch op {
+		case algebra.EQ:
+			for i := lo; i < hi; i++ {
+				if xs[i] == c {
+					bm.Set(i)
+				}
+			}
+		case algebra.NE:
+			for i := lo; i < hi; i++ {
+				if xs[i] != c { // NaN != c: true, matching the class order
+					bm.Set(i)
+				}
+			}
+		case algebra.LT:
+			for i := lo; i < hi; i++ {
+				if x := xs[i]; x < c || x != x {
+					bm.Set(i)
+				}
+			}
+		case algebra.LE:
+			for i := lo; i < hi; i++ {
+				if x := xs[i]; x <= c || x != x {
+					bm.Set(i)
+				}
+			}
+		case algebra.GT:
+			for i := lo; i < hi; i++ {
+				if xs[i] > c { // NaN > c: false, matching the class order
+					bm.Set(i)
+				}
+			}
+		case algebra.GE:
+			for i := lo; i < hi; i++ {
+				if xs[i] >= c {
+					bm.Set(i)
+				}
+			}
+		}
+		return
+	}
+	switch op {
+	case algebra.EQ:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] == c })
+	case algebra.NE:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] != c })
+	case algebra.LT:
+		bm.FilterRange(lo, hi, func(i int) bool { x := xs[i]; return x < c || x != x })
+	case algebra.LE:
+		bm.FilterRange(lo, hi, func(i int) bool { x := xs[i]; return x <= c || x != x })
+	case algebra.GT:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] > c })
+	case algebra.GE:
+		bm.FilterRange(lo, hi, func(i int) bool { return xs[i] >= c })
+	}
+}
+
+// cmpFloat is Value.Compare's float-vs-float arm.
+func cmpFloat(a, b float64) int {
+	an, bn := a != a, b != b
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Gather: selection bitmap → output relation (with fused projection).
+
+// gatherProject emits the selected rows projected to the target schema, in
+// ascending row order. Identical schemas alias the input tuples, exactly as
+// the row filter does.
+func gatherProject(in *storage.Relation, bm *Bitmap, target algebra.Schema, par storage.Par) *storage.Relation {
+	rows := in.Rows()
+	same := schemaEqual(in.Schema(), target)
+	var idx []int
+	if !same {
+		idx = projIndexes(in.Schema(), target)
+	}
+	par = par.Norm()
+	if par.Enabled() && in.Len() >= storage.ParMinRows {
+		ranges := storage.MorselRanges(in.Len(), par.Partitions)
+		outs := make([][]algebra.Tuple, len(ranges))
+		forRanges(ranges, par.Workers, func(ri, lo, hi int) {
+			var arena tupleArena
+			acc := make([]algebra.Tuple, 0, bm.CountRange(lo, hi))
+			bm.ForEachRange(lo, hi, func(i int) {
+				if same {
+					acc = append(acc, rows[i])
+					return
+				}
+				row := arena.alloc(len(idx))
+				for k, j := range idx {
+					row[k] = rows[i][j]
+				}
+				acc = append(acc, row)
+			})
+			outs[ri] = acc
+		})
+		return concatRanges(target, outs)
+	}
+	out := storage.NewRelation(target)
+	out.Reserve(bm.Count())
+	var arena tupleArena
+	bm.ForEach(func(i int) {
+		if same {
+			out.Append(rows[i])
+			return
+		}
+		row := arena.alloc(len(idx))
+		for k, j := range idx {
+			row[k] = rows[i][j]
+		}
+		out.Append(row)
+	})
+	return out
+}
+
+// filterProjectB is the fused batch select: predicate over column vectors
+// into a selection bitmap, then one gather pass straight into the target
+// schema — no intermediate filtered relation.
+func filterProjectB(in *storage.Relation, pred algebra.Pred, target algebra.Schema, par storage.Par) *storage.Relation {
+	return gatherProject(in, batchSelBitmap(in, pred, par), target, par)
+}
+
+// ---------------------------------------------------------------------------
+// Hash join with fused projection.
+
+// gatherCol routes one output column of a join to a side tuple: the build
+// tuple at idx or the probe tuple at idx.
+type gatherCol struct {
+	build bool
+	idx   int
+}
+
+// joinGatherSpec resolves the target schema against the l++r concat layout
+// and re-expresses each column as a (side, index) pair under the given
+// orientation.
+func joinGatherSpec(target, outSchema algebra.Schema, lWidth int, buildIsLeft bool) []gatherCol {
+	spec := make([]gatherCol, len(target))
+	for k, j := range projIndexes(outSchema, target) {
+		fromLeft := j < lWidth
+		idx := j
+		if !fromLeft {
+			idx = j - lWidth
+		}
+		spec[k] = gatherCol{build: fromLeft == buildIsLeft, idx: idx}
+	}
+	return spec
+}
+
+// twoCmp is one residual conjunct re-expressed over (build, probe) tuple
+// pairs instead of the concatenated row.
+type twoCmp struct {
+	op             algebra.CmpOp
+	lBuild, rBuild bool
+	li, ri         int // tuple index, -1 for literal
+	lv, rv         algebra.Value
+}
+
+// compileResidual binds the residual conjuncts against the l++r layout and
+// splits each side reference to its source tuple, so evaluation never
+// materializes the concatenated row. Semantics equal the row engine's
+// res.Eval(l++r) by construction (same Bind, same Value.Compare).
+func compileResidual(residual []algebra.Cmp, outSchema algebra.Schema, lWidth int, buildIsLeft bool) []twoCmp {
+	if len(residual) == 0 {
+		return nil
+	}
+	cmps := algebra.Pred{Conjuncts: residual}.Bind(outSchema).Cmps()
+	out := make([]twoCmp, len(cmps))
+	side := func(idx int) (bool, int) {
+		if idx < 0 {
+			return false, -1
+		}
+		fromLeft := idx < lWidth
+		if !fromLeft {
+			idx -= lWidth
+		}
+		return fromLeft == buildIsLeft, idx
+	}
+	for i, c := range cmps {
+		tc := twoCmp{op: c.Op, lv: c.LVal, rv: c.RVal}
+		tc.lBuild, tc.li = side(c.LIdx)
+		tc.rBuild, tc.ri = side(c.RIdx)
+		out[i] = tc
+	}
+	return out
+}
+
+// evalResidual evaluates the two-sided residual conjunction.
+func evalResidual(cs []twoCmp, bt, pt algebra.Tuple) bool {
+	for _, c := range cs {
+		l, r := c.lv, c.rv
+		if c.li >= 0 {
+			if c.lBuild {
+				l = bt[c.li]
+			} else {
+				l = pt[c.li]
+			}
+		}
+		if c.ri >= 0 {
+			if c.rBuild {
+				r = bt[c.ri]
+			} else {
+				r = pt[c.ri]
+			}
+		}
+		if !opOK(c.op, l.Compare(r)) {
+			return false
+		}
+	}
+	return true
+}
+
+// hashJoinB is the batch hash join with fused projection: it keys on cached
+// hash columns (computed once per relation version), builds index buckets in
+// build-row order, probes in probe order, and emits rows directly in the
+// target schema, gathering values from the original side tuples. Output is
+// byte-identical to projectToP(hashJoin…(l, r, pred), target) for the same
+// orientation. No equi-conjunct falls back to the row nested loop.
+func hashJoinB(l, r *storage.Relation, pred algebra.Pred, buildIsLeft bool, target algebra.Schema, par storage.Par) *storage.Relation {
+	par = par.Norm()
+	ls, rs := l.Schema(), r.Schema()
+	outSchema := ls.Concat(rs)
+	lCols, rCols, residual := splitJoinPred(pred, ls, rs)
+	if len(lCols) == 0 {
+		return projectToP(hashJoinPlanned(l, r, pred, buildIsLeft, par), target, par)
+	}
+	build, bCols := l, lCols
+	probe, pCols := r, rCols
+	if !buildIsLeft {
+		build, bCols = r, rCols
+		probe, pCols = l, lCols
+	}
+	bh := build.ColView().KeyHashes(bCols, par)
+	ph := probe.ColView().KeyHashes(pCols, par)
+	res := compileResidual(residual, outSchema, len(ls), buildIsLeft)
+	spec := joinGatherSpec(target, outSchema, len(ls), buildIsLeft)
+
+	bRows, pRows := build.Rows(), probe.Rows()
+	buckets := make(map[uint64][]int32, len(bRows))
+	for i := range bRows {
+		h := bh[i]
+		buckets[h] = append(buckets[h], int32(i))
+	}
+	width := len(spec)
+	emitRange := func(lo, hi int) []algebra.Tuple {
+		var arena tupleArena
+		var acc []algebra.Tuple
+		for j := lo; j < hi; j++ {
+			bs := buckets[ph[j]]
+			if len(bs) == 0 {
+				continue
+			}
+			pt := pRows[j]
+			for _, bi := range bs {
+				bt := bRows[bi]
+				if !algebra.EqualOn(pt, pCols, bt, bCols) {
+					continue // hash collision across distinct keys
+				}
+				if res != nil && !evalResidual(res, bt, pt) {
+					continue
+				}
+				row := arena.alloc(width)
+				for k, g := range spec {
+					if g.build {
+						row[k] = bt[g.idx]
+					} else {
+						row[k] = pt[g.idx]
+					}
+				}
+				acc = append(acc, row)
+			}
+		}
+		return acc
+	}
+	if !par.Enabled() || len(pRows) < storage.ParMinRows {
+		out := storage.NewRelation(target)
+		out.AppendAll(emitRange(0, len(pRows)))
+		return out
+	}
+	ranges := storage.MorselRanges(len(pRows), par.Partitions)
+	outs := make([][]algebra.Tuple, len(ranges))
+	forRanges(ranges, par.Workers, func(ri, lo, hi int) {
+		outs[ri] = emitRange(lo, hi)
+	})
+	return concatRanges(target, outs)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation and dedup over cached hash columns.
+
+// buildAggTableB is buildAggTableP keyed on the cached group-hash column, so
+// a relation version aggregated twice (or aggregated after being joined on
+// the same columns) never rehashes. State equals the sequential build's.
+func buildAggTableB(in *storage.Relation, groupBy []algebra.ColRef, specs []algebra.AggSpec, out algebra.Schema, par storage.Par, hint int) *AggTable {
+	par = par.Norm()
+	if hint > in.Len() {
+		hint = in.Len()
+	}
+	at := NewAggTableSized(in.Schema(), groupBy, specs, out, hint)
+	if in.Len() == 0 {
+		return at
+	}
+	gh := in.ColView().KeyHashes(at.groupBy, par)
+	rows := in.Rows()
+	if !par.Enabled() || in.Len() < storage.ParMinRows {
+		for i, t := range rows {
+			at.absorbOne(gh[i], t, 1)
+		}
+		return at
+	}
+	gIdx := storage.ScatterByHash(gh, par.Partitions)
+	tables := make([]*AggTable, par.Partitions)
+	storage.ForParts(par.Partitions, par.Workers, func(p int) {
+		t := NewAggTableSized(in.Schema(), groupBy, specs, out, hint/par.Partitions+1)
+		for _, i := range gIdx[p] {
+			t.absorbOne(gh[i], rows[i], 1)
+		}
+		tables[p] = t
+	})
+	at = tables[0]
+	for _, t := range tables[1:] {
+		at.merge(t)
+	}
+	return at
+}
+
+// dedupB is dedup over the cached full-tuple hash column (the PartView hash
+// array): parallel inputs use the keep-mask dedupP, sequential ones walk the
+// rows once with cached hashes. First occurrences survive in order either
+// way — byte-identical to dedup.
+func dedupB(in *storage.Relation, par storage.Par) *storage.Relation {
+	par = par.Norm()
+	if in.Len() == 0 {
+		return dedup(in)
+	}
+	if par.Enabled() && in.Len() >= storage.ParMinRows {
+		return dedupP(in, par)
+	}
+	pv := in.PartView(par)
+	rows := in.Rows()
+	out := storage.NewRelation(in.Schema())
+	seen := make(map[uint64][]algebra.Tuple, len(rows))
+	for i, t := range rows {
+		h := pv.Hash(i)
+		bucket := seen[h]
+		dup := false
+		for _, prev := range bucket {
+			if prev.Equal(t) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(bucket, t)
+			out.Append(t)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Engine dispatch: the single entry points the plan interpreters call.
+
+// execSelect routes select + projection through the configured engine.
+func execSelect(in *storage.Relation, pred algebra.Pred, target algebra.Schema, par storage.Par) *storage.Relation {
+	if par.Batch {
+		return filterProjectB(in, pred, target, par)
+	}
+	return projectToP(filterRelP(in, pred, par), target, par)
+}
+
+// execJoinSized routes a size-oriented join (build on the smaller input —
+// the differential-plan rule) through the configured engine.
+func execJoinSized(l, r *storage.Relation, pred algebra.Pred, target algebra.Schema, par storage.Par) *storage.Relation {
+	if par.Batch {
+		return hashJoinB(l, r, pred, !(r.Len() < l.Len()), target, par)
+	}
+	return projectToP(hashJoinP(l, r, pred, par), target, par)
+}
+
+// execJoinPlanned routes a plan-oriented join (build side fixed by the
+// optimizer, see BuildLeftFromPlan) through the configured engine.
+func execJoinPlanned(l, r *storage.Relation, pred algebra.Pred, buildIsLeft bool, target algebra.Schema, par storage.Par) *storage.Relation {
+	if par.Batch {
+		return hashJoinB(l, r, pred, buildIsLeft, target, par)
+	}
+	return projectToP(hashJoinPlanned(l, r, pred, buildIsLeft, par), target, par)
+}
+
+// execAgg routes a from-scratch aggregation through the configured engine.
+func execAgg(in *storage.Relation, op *dag.Op, target algebra.Schema, par storage.Par, hint int) *storage.Relation {
+	if par.Batch {
+		return projectToP(buildAggTableB(in, op.GroupBy, op.Aggs, target, par, hint).Rows(), target, par)
+	}
+	return projectToP(aggregateP(in, op, target, par, hint), target, par)
+}
+
+// execBuildAgg routes mergeable aggregate-state construction (materialized
+// aggregate roots) through the configured engine.
+func execBuildAgg(in *storage.Relation, groupBy []algebra.ColRef, specs []algebra.AggSpec, out algebra.Schema, par storage.Par, hint int) *AggTable {
+	if par.Batch {
+		return buildAggTableB(in, groupBy, specs, out, par, hint)
+	}
+	return buildAggTableP(in, groupBy, specs, out, par, hint)
+}
+
+// execUnion routes a union through the engine (shared row path: union is a
+// pure concatenation either way).
+func execUnion(l, r *storage.Relation, target algebra.Schema, par storage.Par) *storage.Relation {
+	return projectToP(unionAllP(l, r, par), target, par)
+}
+
+// execMinus routes a multiset difference through the configured engine; the
+// batch path goes through the keep-mask/hash-carry ParMinusCOW even at one
+// partition.
+func execMinus(l, r *storage.Relation, target algebra.Schema, par storage.Par) *storage.Relation {
+	if par.Batch {
+		return projectToP(storage.ParMinusCOW(l, projectToP(r, l.Schema(), par), par), target, par)
+	}
+	return projectToP(minusP(l, r, par), target, par)
+}
+
+// execDedup routes duplicate elimination through the configured engine.
+func execDedup(in *storage.Relation, target algebra.Schema, par storage.Par) *storage.Relation {
+	if par.Batch {
+		return projectToP(dedupB(in, par), target, par)
+	}
+	return projectToP(dedupP(in, par), target, par)
+}

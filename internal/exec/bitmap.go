@@ -1,0 +1,201 @@
+package exec
+
+import "math/bits"
+
+// Bitmap is the selection vector of the batch engine: one bit per input row,
+// set when the row survives the predicate conjuncts applied so far. Filters
+// fill it with tight typed loops over column vectors (batch.go) and compose
+// further conjuncts by clearing set bits, then a single ordered pass gathers
+// the surviving rows — reproducing the row engine's output order exactly,
+// since bit order is row order.
+//
+// Bits at index >= Len() are never set; every operation keeps that invariant
+// (Not masks the tail word), so Count and iteration need no bounds checks.
+type Bitmap struct {
+	n     int
+	words []uint64
+}
+
+// NewBitmap returns an empty (all-zero) bitmap over n rows.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{n: n, words: make([]uint64, (n+63)>>6)}
+}
+
+// Len returns the row count the bitmap ranges over.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int) { b.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) { b.words[i>>6] &^= 1 << uint(i&63) }
+
+// Get reports bit i.
+func (b *Bitmap) Get(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// SetAll sets every bit in [0, Len()).
+func (b *Bitmap) SetAll() {
+	for w := range b.words {
+		b.words[w] = ^uint64(0)
+	}
+	b.maskTail()
+}
+
+// ClearAll zeroes the bitmap.
+func (b *Bitmap) ClearAll() {
+	for w := range b.words {
+		b.words[w] = 0
+	}
+}
+
+// SetRange sets every bit in [lo, hi).
+func (b *Bitmap) SetRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		b.Set(i)
+	}
+}
+
+// ClearRange clears every bit in [lo, hi).
+func (b *Bitmap) ClearRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		b.Clear(i)
+	}
+}
+
+// maskTail zeroes the bits of the last word beyond Len().
+func (b *Bitmap) maskTail() {
+	if r := uint(b.n & 63); r != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << r) - 1
+	}
+}
+
+// And intersects with o (same length required).
+func (b *Bitmap) And(o *Bitmap) {
+	for w := range b.words {
+		b.words[w] &= o.words[w]
+	}
+}
+
+// AndNot removes o's set bits (same length required).
+func (b *Bitmap) AndNot(o *Bitmap) {
+	for w := range b.words {
+		b.words[w] &^= o.words[w]
+	}
+}
+
+// Or unions with o (same length required).
+func (b *Bitmap) Or(o *Bitmap) {
+	for w := range b.words {
+		b.words[w] |= o.words[w]
+	}
+}
+
+// Not complements the bitmap within [0, Len()).
+func (b *Bitmap) Not() {
+	for w := range b.words {
+		b.words[w] = ^b.words[w]
+	}
+	b.maskTail()
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// CountRange returns the number of set bits in [lo, hi). lo must be a
+// multiple of 64 or share its word with no set bit below lo (the batch
+// engine always calls it with word-aligned lo).
+func (b *Bitmap) CountRange(lo, hi int) int {
+	n := 0
+	for w := lo >> 6; w < (hi+63)>>6 && w < len(b.words); w++ {
+		word := b.words[w]
+		if base := w << 6; base+64 > hi {
+			word &= (1 << uint(hi-base)) - 1
+		}
+		if base := w << 6; base < lo {
+			word &^= (1 << uint(lo-base)) - 1
+		}
+		n += bits.OnesCount64(word)
+	}
+	return n
+}
+
+// ForEach calls fn for every set bit, in ascending order.
+func (b *Bitmap) ForEach(fn func(i int)) { b.ForEachRange(0, b.n, fn) }
+
+// ForEachRange calls fn for every set bit in [lo, hi), in ascending order.
+func (b *Bitmap) ForEachRange(lo, hi int, fn func(i int)) {
+	if hi > b.n {
+		hi = b.n
+	}
+	for w := lo >> 6; w < (hi+63)>>6 && w < len(b.words); w++ {
+		word := b.words[w]
+		base := w << 6
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			i := base + tz
+			word &= word - 1
+			if i < lo {
+				continue
+			}
+			if i >= hi {
+				return
+			}
+			fn(i)
+		}
+	}
+}
+
+// FilterRange clears every set bit i in [lo, hi) for which pred(i) is false
+// — selection-vector composition for non-leading predicate conjuncts.
+func (b *Bitmap) FilterRange(lo, hi int, pred func(i int) bool) {
+	if hi > b.n {
+		hi = b.n
+	}
+	for w := lo >> 6; w < (hi+63)>>6 && w < len(b.words); w++ {
+		word := b.words[w]
+		base := w << 6
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			i := base + tz
+			word &= word - 1
+			if i < lo || i >= hi {
+				continue
+			}
+			if !pred(i) {
+				b.words[w] &^= 1 << uint(tz)
+			}
+		}
+	}
+}
+
+// Indices materializes the selection vector as ascending row indexes.
+func (b *Bitmap) Indices() []int32 {
+	out := make([]int32, 0, b.Count())
+	b.ForEach(func(i int) { out = append(out, int32(i)) })
+	return out
+}
+
+// FromBools builds a bitmap from a bool slice (the naive model the property
+// tests compare against).
+func FromBools(m []bool) *Bitmap {
+	b := NewBitmap(len(m))
+	for i, v := range m {
+		if v {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+// ToBools materializes the bitmap as a bool slice.
+func (b *Bitmap) ToBools() []bool {
+	out := make([]bool, b.n)
+	b.ForEach(func(i int) { out[i] = true })
+	return out
+}

@@ -91,19 +91,19 @@ func (ex *Executor) EvalNode(e *dag.Equiv) *storage.Relation {
 	case dag.OpScan:
 		return projectToP(ex.DB.MustRelation(op.Table), e.Schema, par)
 	case dag.OpSelect:
-		return projectToP(filterRelP(ex.EvalNode(op.Children[0]), op.Pred, par), e.Schema, par)
+		return execSelect(ex.EvalNode(op.Children[0]), op.Pred, e.Schema, par)
 	case dag.OpProject:
 		return projectToP(ex.EvalNode(op.Children[0]), e.Schema, par)
 	case dag.OpJoin:
-		return projectToP(hashJoinP(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1]), op.Pred, par), e.Schema, par)
+		return execJoinSized(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1]), op.Pred, e.Schema, par)
 	case dag.OpAggregate:
-		return projectToP(aggregateP(ex.EvalNode(op.Children[0]), op, e.Schema, par, ex.sizeHint(e)), e.Schema, par)
+		return execAgg(ex.EvalNode(op.Children[0]), op, e.Schema, par, ex.sizeHint(e))
 	case dag.OpUnion:
-		return projectToP(unionAllP(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1]), par), e.Schema, par)
+		return execUnion(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1]), e.Schema, par)
 	case dag.OpMinus:
-		return projectToP(minusP(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1]), par), e.Schema, par)
+		return execMinus(ex.EvalNode(op.Children[0]), ex.EvalNode(op.Children[1]), e.Schema, par)
 	case dag.OpDedup:
-		return projectToP(dedupP(ex.EvalNode(op.Children[0]), par), e.Schema, par)
+		return execDedup(ex.EvalNode(op.Children[0]), e.Schema, par)
 	default:
 		panic("exec: unexpected op kind " + op.Kind.String())
 	}
@@ -121,7 +121,7 @@ func (ex *Executor) MaterializeNode(e *dag.Equiv) *storage.Relation {
 	op := e.Ops[0]
 	if op.Kind == dag.OpAggregate {
 		in := ex.EvalNode(op.Children[0])
-		at := buildAggTableP(in, op.GroupBy, op.Aggs, e.Schema, ex.Par, ex.sizeHint(e))
+		at := execBuildAgg(in, op.GroupBy, op.Aggs, e.Schema, ex.Par, ex.sizeHint(e))
 		ex.Agg[e.ID] = at
 		ex.Mat[e.ID] = projectToP(at.Rows(), e.Schema, ex.Par)
 	} else {
@@ -235,7 +235,7 @@ func (mt *Maintainer) refreshOne(i int) {
 		if u.IsInsert(i) {
 			nb = ex.DB.ApplyInsertsCOW(T)
 		} else {
-			nb = ex.DB.ApplyDeletesCOW(T)
+			nb = ex.DB.ApplyDeletesCOWPar(T, ex.Par)
 		}
 		for id := range ex.Mat {
 			if e := mt.En.D.Equivs[id]; e.IsTable && e.Tables[0] == T {
@@ -243,9 +243,9 @@ func (mt *Maintainer) refreshOne(i int) {
 			}
 		}
 	} else if u.IsInsert(i) {
-		ex.DB.ApplyInserts(T)
+		ex.DB.ApplyInsertsPar(T, ex.Par)
 	} else {
-		ex.DB.ApplyDeletes(T)
+		ex.DB.ApplyDeletesPar(T, ex.Par)
 	}
 
 	// Phase 3: merge. The aggregate and recompute arms install fresh
@@ -274,7 +274,7 @@ func (mt *Maintainer) refreshOne(i int) {
 			if cow {
 				ex.Mat[pm.e.ID] = storage.UnionCOW(ex.Mat[pm.e.ID], delta)
 			} else {
-				ex.Mat[pm.e.ID].InsertAll(delta)
+				ex.Mat[pm.e.ID].InsertAllPar(delta, ex.Par)
 			}
 		default:
 			delta := projectToP(pm.task.result(), pm.e.Schema, ex.Par)

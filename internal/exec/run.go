@@ -34,6 +34,7 @@ func NewExecutor(db *storage.Database) *Executor {
 		DB:  db,
 		Mat: make(map[int]*storage.Relation),
 		Agg: make(map[int]*AggTable),
+		Par: storage.DefaultPar(),
 	}
 }
 
@@ -56,7 +57,7 @@ func (ex *Executor) Run(p *volcano.PlanNode) *storage.Relation {
 	case dag.OpScan:
 		return projectToP(ex.DB.MustRelation(op.Table), p.E.Schema, par)
 	case dag.OpSelect:
-		return projectToP(filterRelP(ex.Run(p.Children[0]), op.Pred, par), p.E.Schema, par)
+		return execSelect(ex.Run(p.Children[0]), op.Pred, p.E.Schema, par)
 	case dag.OpProject:
 		return projectToP(ex.Run(p.Children[0]), p.E.Schema, par)
 	case dag.OpJoin:
@@ -70,15 +71,15 @@ func (ex *Executor) Run(p *volcano.PlanNode) *storage.Relation {
 		} else {
 			r = ex.Run(p.Children[1])
 		}
-		return projectToP(hashJoinPlanned(l, r, op.Pred, BuildLeftFromPlan(p), par), p.E.Schema, par)
+		return execJoinPlanned(l, r, op.Pred, BuildLeftFromPlan(p), p.E.Schema, par)
 	case dag.OpAggregate:
-		return projectToP(aggregateP(ex.Run(p.Children[0]), op, p.E.Schema, par, ex.sizeHint(p.E)), p.E.Schema, par)
+		return execAgg(ex.Run(p.Children[0]), op, p.E.Schema, par, ex.sizeHint(p.E))
 	case dag.OpUnion:
-		return projectToP(unionAllP(ex.Run(p.Children[0]), ex.Run(p.Children[1]), par), p.E.Schema, par)
+		return execUnion(ex.Run(p.Children[0]), ex.Run(p.Children[1]), p.E.Schema, par)
 	case dag.OpMinus:
-		return projectToP(minusP(ex.Run(p.Children[0]), ex.Run(p.Children[1]), par), p.E.Schema, par)
+		return execMinus(ex.Run(p.Children[0]), ex.Run(p.Children[1]), p.E.Schema, par)
 	case dag.OpDedup:
-		return projectToP(dedupP(ex.Run(p.Children[0]), par), p.E.Schema, par)
+		return execDedup(ex.Run(p.Children[0]), p.E.Schema, par)
 	default:
 		panic("exec: unexpected op kind " + op.Kind.String())
 	}
@@ -129,7 +130,7 @@ func (ex *Executor) Materialize(p *volcano.PlanNode) *storage.Relation {
 	e := p.E
 	if p.Access == volcano.Compute && p.Op.Kind == dag.OpAggregate {
 		in := ex.Run(p.Children[0])
-		at := buildAggTableP(in, p.Op.GroupBy, p.Op.Aggs, e.Schema, ex.Par, ex.sizeHint(e))
+		at := execBuildAgg(in, p.Op.GroupBy, p.Op.Aggs, e.Schema, ex.Par, ex.sizeHint(e))
 		ex.Agg[e.ID] = at
 		ex.Mat[e.ID] = projectToP(at.Rows(), e.Schema, ex.Par)
 		return ex.Mat[e.ID]

@@ -250,7 +250,7 @@ func (sr *stepRun) exec(p *diff.DiffPlan) *storage.Relation {
 		}
 		return projectToP(d.Minus, e.Schema, par)
 	case dag.OpSelect:
-		return projectToP(filterRelP(sr.exec(p.DiffChildren[0]), op.Pred, par), e.Schema, par)
+		return execSelect(sr.exec(p.DiffChildren[0]), op.Pred, e.Schema, par)
 	case dag.OpProject:
 		return projectToP(sr.exec(p.DiffChildren[0]), e.Schema, par)
 	case dag.OpJoin:
@@ -262,14 +262,14 @@ func (sr *stepRun) exec(p *diff.DiffPlan) *storage.Relation {
 			// Index nested loops: probe the stored inner side.
 			full = ex.stored(otherJoinChild(p))
 		}
-		return projectToP(hashJoinP(dc, full, op.Pred, par), e.Schema, par)
+		return execJoinSized(dc, full, op.Pred, e.Schema, par)
 	case dag.OpAggregate:
 		// A maintainable aggregate differential consumed by an ancestor:
 		// aggregate the input delta (merge semantics are the ancestor's
 		// concern; the benchmark workloads materialize aggregates only at
 		// roots, where the Maintainer merges via AggTable instead).
 		in := sr.exec(p.DiffChildren[0])
-		return projectToP(aggregateP(in, op, e.Schema, par, 0), e.Schema, par)
+		return execAgg(in, op, e.Schema, par, 0)
 	case dag.OpUnion:
 		out := storage.NewRelation(e.Schema)
 		for _, c := range p.DiffChildren {

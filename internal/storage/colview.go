@@ -1,0 +1,431 @@
+package storage
+
+// ColView is the columnar image of one relation version: lazily built typed
+// column vectors plus cached key-column hash columns, the substrate of the
+// vectorized batch engine (internal/exec/batch.go). Like PartView it is
+// cached on the relation through an atomic pointer, dropped by in-place
+// mutation, and carried across copy-on-write versions — extended on
+// insert-merge (only the appended suffix is decoded/hashed) and compacted by
+// keep mask on delete-merge (pure index arithmetic, no rehash). The view
+// never owns row data: column vectors copy the typed payloads out of the
+// tuples, and all batch operators gather their OUTPUT rows from the original
+// tuples, so value fidelity (kinds, -0.0, NaN payloads) is byte-identical to
+// the row engine by construction.
+
+import (
+	"os"
+	"sync"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+)
+
+// ColRep classifies a column's physical representation: every row's value
+// payload lives in one typed slice, or the column is mixed-kind and readers
+// fall back to the row store.
+type ColRep uint8
+
+const (
+	// RepMixed marks a column whose values do not share one payload class
+	// (or an empty relation, where no class is established); batch operators
+	// read such columns through the rows.
+	RepMixed ColRep = iota
+	// RepInt covers Int and Date values (both carry int64 payloads and
+	// compare numerically on them).
+	RepInt
+	// RepFloat covers Float values.
+	RepFloat
+	// RepStr covers String values.
+	RepStr
+)
+
+// ColVec is one materialized column. Exactly one of the payload slices is
+// populated, selected by Rep (none for RepMixed).
+type ColVec struct {
+	Rep ColRep
+	I   []int64
+	F   []float64
+	S   []string
+}
+
+// keyHashes caches the column-subset hash column for one key-column set,
+// identical element-wise to algebra.Tuple.HashCols over the rows.
+type keyHashes struct {
+	cols []int
+	h    []uint64
+}
+
+// ColView holds the lazily built columnar state of one relation version.
+type ColView struct {
+	rows []algebra.Tuple
+
+	mu   sync.Mutex
+	cols []*ColVec // per schema column, nil until first use
+	keys []keyHashes
+}
+
+// ColView returns (creating and caching on first use) the relation's column
+// view. Columns and hash columns inside it are built lazily on demand. Safe
+// to call from any number of goroutines on a published (immutable) relation
+// version: the cache is an atomic pointer and concurrent creators converge
+// on equivalent views.
+func (r *Relation) ColView() *ColView {
+	if cv := r.colv.Load(); cv != nil {
+		return cv
+	}
+	cv := &ColView{rows: r.rows, cols: make([]*ColVec, len(r.schema))}
+	r.colv.Store(cv)
+	return cv
+}
+
+// Len returns the view's row count.
+func (cv *ColView) Len() int { return len(cv.rows) }
+
+// Col returns column c, building and caching it on first use.
+func (cv *ColView) Col(c int) *ColVec {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	if v := cv.cols[c]; v != nil {
+		return v
+	}
+	v := buildColVec(cv.rows, c)
+	cv.cols[c] = v
+	return v
+}
+
+// buildColVec extracts column c of the rows into a typed vector, degrading
+// to RepMixed the moment two payload classes meet.
+func buildColVec(rows []algebra.Tuple, c int) *ColVec {
+	if len(rows) == 0 {
+		return &ColVec{Rep: RepMixed}
+	}
+	switch rep := repOf(rows[0][c]); rep {
+	case RepInt:
+		xs := make([]int64, len(rows))
+		for i, t := range rows {
+			if repOf(t[c]) != RepInt {
+				return &ColVec{Rep: RepMixed}
+			}
+			xs[i] = t[c].I
+		}
+		return &ColVec{Rep: RepInt, I: xs}
+	case RepFloat:
+		xs := make([]float64, len(rows))
+		for i, t := range rows {
+			if t[c].Kind != catalog.Float {
+				return &ColVec{Rep: RepMixed}
+			}
+			xs[i] = t[c].F
+		}
+		return &ColVec{Rep: RepFloat, F: xs}
+	default:
+		xs := make([]string, len(rows))
+		for i, t := range rows {
+			if t[c].Kind != catalog.String {
+				return &ColVec{Rep: RepMixed}
+			}
+			xs[i] = t[c].S
+		}
+		return &ColVec{Rep: RepStr, S: xs}
+	}
+}
+
+// repOf maps a value to its payload class.
+func repOf(v algebra.Value) ColRep {
+	switch v.Kind {
+	case catalog.Int, catalog.Date:
+		return RepInt
+	case catalog.Float:
+		return RepFloat
+	default:
+		return RepStr
+	}
+}
+
+// KeyHashes returns the cached hash column for the given key-column subset,
+// computing it (morsel-parallel for large relations) on first use. Element i
+// equals rows[i].HashCols(cols), so batch joins and aggregations probe with
+// exactly the hashes the row engine would compute.
+func (cv *ColView) KeyHashes(cols []int, par Par) []uint64 {
+	cv.mu.Lock()
+	for i := range cv.keys {
+		if eqCols(cv.keys[i].cols, cols) {
+			h := cv.keys[i].h
+			cv.mu.Unlock()
+			return h
+		}
+	}
+	cv.mu.Unlock()
+
+	rows := cv.rows
+	h := make([]uint64, len(rows))
+	par = par.Norm()
+	workers := par.Workers
+	if len(rows) < ParMinRows {
+		workers = 1
+	}
+	ranges := MorselRanges(len(rows), workers)
+	forRangesStorage(ranges, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			h[i] = rows[i].HashCols(cols)
+		}
+	})
+
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	// A concurrent caller may have installed the same key set meanwhile;
+	// keep the first installation so every reader shares one column.
+	for i := range cv.keys {
+		if eqCols(cv.keys[i].cols, cols) {
+			return cv.keys[i].h
+		}
+	}
+	cv.keys = append(cv.keys, keyHashes{cols: append([]int(nil), cols...), h: h})
+	return h
+}
+
+func eqCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// forRangesStorage runs body over the ranges on up to workers goroutines.
+func forRangesStorage(ranges [][2]int, workers int, body func(lo, hi int)) {
+	if workers > len(ranges) {
+		workers = len(ranges)
+	}
+	RunWorkers(workers, func(w int) {
+		for i := w; i < len(ranges); i += workers {
+			body(ranges[i][0], ranges[i][1])
+		}
+	})
+}
+
+// extendColView derives the column view of the extended rows (old rows plus
+// an appended suffix) from the previous version's view: built columns and
+// hash columns grow by decoding/hashing only the suffix; a suffix value that
+// breaks a column's payload class degrades that column to RepMixed. Unbuilt
+// columns stay unbuilt.
+func extendColView(cv *ColView, rows []algebra.Tuple) *ColView {
+	out := &ColView{rows: rows, cols: make([]*ColVec, len(cv.cols))}
+	suffix := rows[len(cv.rows):]
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	for c, v := range cv.cols {
+		if v == nil {
+			continue
+		}
+		out.cols[c] = extendColVec(v, suffix, c)
+	}
+	out.keys = make([]keyHashes, len(cv.keys))
+	for i, k := range cv.keys {
+		h := make([]uint64, len(rows))
+		copy(h, k.h)
+		for j, t := range suffix {
+			h[len(cv.rows)+j] = t.HashCols(k.cols)
+		}
+		out.keys[i] = keyHashes{cols: k.cols, h: h}
+	}
+	return out
+}
+
+// extendColVec grows one typed vector by the suffix values of column c.
+func extendColVec(v *ColVec, suffix []algebra.Tuple, c int) *ColVec {
+	switch v.Rep {
+	case RepInt:
+		xs := make([]int64, len(v.I), len(v.I)+len(suffix))
+		copy(xs, v.I)
+		for _, t := range suffix {
+			if repOf(t[c]) != RepInt {
+				return &ColVec{Rep: RepMixed}
+			}
+			xs = append(xs, t[c].I)
+		}
+		return &ColVec{Rep: RepInt, I: xs}
+	case RepFloat:
+		xs := make([]float64, len(v.F), len(v.F)+len(suffix))
+		copy(xs, v.F)
+		for _, t := range suffix {
+			if t[c].Kind != catalog.Float {
+				return &ColVec{Rep: RepMixed}
+			}
+			xs = append(xs, t[c].F)
+		}
+		return &ColVec{Rep: RepFloat, F: xs}
+	case RepStr:
+		xs := make([]string, len(v.S), len(v.S)+len(suffix))
+		copy(xs, v.S)
+		for _, t := range suffix {
+			if t[c].Kind != catalog.String {
+				return &ColVec{Rep: RepMixed}
+			}
+			xs = append(xs, t[c].S)
+		}
+		return &ColVec{Rep: RepStr, S: xs}
+	default:
+		return v
+	}
+}
+
+// deriveKeptColView compacts a column view by a keep mask (kept = the
+// surviving rows, in original relative order): built typed vectors and hash
+// columns compact by index with no decoding or rehashing. A nil input view
+// yields nil (rebuilt lazily on demand).
+func deriveKeptColView(cv *ColView, kept []algebra.Tuple, keep []bool) *ColView {
+	if cv == nil {
+		return nil
+	}
+	out := &ColView{rows: kept, cols: make([]*ColVec, len(cv.cols))}
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	for c, v := range cv.cols {
+		if v == nil {
+			continue
+		}
+		out.cols[c] = keepColVec(v, keep, len(kept))
+	}
+	out.keys = make([]keyHashes, len(cv.keys))
+	for i, k := range cv.keys {
+		h := make([]uint64, 0, len(kept))
+		for j, kp := range keep {
+			if kp {
+				h = append(h, k.h[j])
+			}
+		}
+		out.keys[i] = keyHashes{cols: k.cols, h: h}
+	}
+	return out
+}
+
+// keepColVec compacts one typed vector by the keep mask.
+func keepColVec(v *ColVec, keep []bool, n int) *ColVec {
+	switch v.Rep {
+	case RepInt:
+		xs := make([]int64, 0, n)
+		for i, kp := range keep {
+			if kp {
+				xs = append(xs, v.I[i])
+			}
+		}
+		return &ColVec{Rep: RepInt, I: xs}
+	case RepFloat:
+		xs := make([]float64, 0, n)
+		for i, kp := range keep {
+			if kp {
+				xs = append(xs, v.F[i])
+			}
+		}
+		return &ColVec{Rep: RepFloat, F: xs}
+	case RepStr:
+		xs := make([]string, 0, n)
+		for i, kp := range keep {
+			if kp {
+				xs = append(xs, v.S[i])
+			}
+		}
+		return &ColVec{Rep: RepStr, S: xs}
+	default:
+		return v
+	}
+}
+
+// ---------------------------------------------------------------------------
+// View-carrying mutation variants used by the batch engine's refresh merges.
+
+// InsertAllExtend is InsertAll carrying cached views forward instead of
+// dropping them: the partition view and every built column/hash column are
+// extended by decoding and hashing only the appended rows. The delete-merge
+// counterpart is the keep-mask path of ParSubtractAll; together they keep a
+// maintained result's hash chain alive across a whole refresh cycle.
+func (r *Relation) InsertAllExtend(o *Relation) {
+	if len(o.schema) != len(r.schema) {
+		panic("storage: InsertAllExtend schema arity mismatch")
+	}
+	pv := r.part.Load()
+	cv := r.colv.Load()
+	base := len(r.rows)
+	r.rows = append(r.rows, o.rows...)
+	if pv != nil {
+		r.part.Store(extendPartView(pv, o.rows, base))
+	}
+	if cv != nil {
+		r.colv.Store(extendColView(cv, r.rows))
+	}
+}
+
+// InsertAllPar folds o into r under the configured engine: the batch engine
+// extends cached views across the mutation, the row engine drops them
+// (InsertAll). Rows are identical either way.
+func (r *Relation) InsertAllPar(o *Relation, par Par) {
+	if par.Batch {
+		r.InsertAllExtend(o)
+		return
+	}
+	r.InsertAll(o)
+}
+
+// ApplyInsertsPar is ApplyInserts under the configured engine (see
+// InsertAllPar).
+func (db *Database) ApplyInsertsPar(name string, par Par) {
+	d := db.deltas[name]
+	db.relations[name].InsertAllPar(d.Plus, par)
+	d.Plus = NewRelation(d.Plus.Schema())
+}
+
+// ApplyDeletesPar is ApplyDeletes under the configured engine: the batch
+// engine subtracts through the keep-mask path (reusing and carrying the hash
+// column), the row engine through SubtractAll.
+func (db *Database) ApplyDeletesPar(name string, par Par) {
+	d := db.deltas[name]
+	if par.Batch {
+		db.relations[name].ParSubtractAll(d.Minus, par)
+	} else {
+		db.relations[name].SubtractAll(d.Minus)
+	}
+	d.Minus = NewRelation(d.Minus.Schema())
+}
+
+// ApplyDeletesCOWPar is ApplyDeletesCOW under the configured engine: the
+// batch engine derives the new version through ParMinusCOW (keep-mask path
+// with view carry), the row engine through MinusCOW.
+func (db *Database) ApplyDeletesCOWPar(name string, par Par) *Relation {
+	d := db.deltas[name]
+	var nr *Relation
+	if par.Batch {
+		nr = ParMinusCOW(db.relations[name], d.Minus, par)
+	} else {
+		nr = MinusCOW(db.relations[name], d.Minus)
+	}
+	db.relations[name] = nr
+	d.Minus = NewRelation(d.Minus.Schema())
+	return nr
+}
+
+// ---------------------------------------------------------------------------
+// Engine-mode default.
+
+// defaultExecBatch is resolved once at startup from MVOPT_EXEC: "row"
+// selects the row-at-a-time engine; anything else (including unset) selects
+// the vectorized batch engine. Executor constructors read it so the whole
+// test suite can be forced onto either engine from the environment.
+var defaultExecBatch = os.Getenv("MVOPT_EXEC") != "row"
+
+// DefaultExecBatch reports whether new executors default to the vectorized
+// batch engine.
+func DefaultExecBatch() bool { return defaultExecBatch }
+
+// DefaultPar returns the zero parallelism configuration carrying the
+// default engine choice.
+func DefaultPar() Par { return Par{Batch: defaultExecBatch} }
+
+// SetDefaultExecBatch overrides the process-wide default engine selection
+// (the CLIs' -exec flag routes here). Call before constructing executors or
+// runtimes; already-built executors keep the engine they were created with.
+func SetDefaultExecBatch(on bool) { defaultExecBatch = on }

@@ -40,6 +40,13 @@ type Par struct {
 	// Workers bounds concurrent partition goroutines (<=0: one per
 	// partition, capped at runtime.GOMAXPROCS(0)).
 	Workers int
+	// Batch selects the vectorized columnar engine: operators evaluate
+	// predicates over typed column vectors (Relation.ColView) composed into
+	// selection bitmaps, joins key on cached hash columns, and merges prefer
+	// the keep-mask/extend paths that carry cached views across relation
+	// versions even at one partition. Output is byte-identical to the row
+	// engine at any setting; the flag only chooses the kernel.
+	Batch bool
 }
 
 // Norm resolves defaults: at least one partition, and a concrete worker
@@ -237,12 +244,16 @@ func ScatterByHash(hs []uint64, parts int) [][]int32 {
 	return out
 }
 
-// invalidate drops the cached partition view after an in-place mutation.
-// Only the single writer mutates a relation, so a plain load-then-store is
-// enough; published versions are never mutated (the COW contract).
+// invalidate drops the cached partition and column views after an in-place
+// mutation. Only the single writer mutates a relation, so a plain
+// load-then-store is enough; published versions are never mutated (the COW
+// contract).
 func (r *Relation) invalidate() {
 	if r.part.Load() != nil {
 		r.part.Store(nil)
+	}
+	if r.colv.Load() != nil {
+		r.colv.Store(nil)
 	}
 }
 
@@ -307,12 +318,13 @@ func (r *Relation) ParSubtractAll(o *Relation, par Par) {
 	if o.Len() == 0 {
 		return
 	}
-	if !par.Enabled() || r.Len() < ParMinRows {
+	if !r.keepMaskOK(par) {
 		r.SubtractAll(o)
 		return
 	}
 	keep := r.parMinusKeep(o, par)
 	pv := r.part.Load()
+	cv := r.colv.Load()
 	kept := r.rows[:0]
 	for i, t := range r.rows {
 		if keep[i] {
@@ -324,6 +336,20 @@ func (r *Relation) ParSubtractAll(o *Relation, par Par) {
 	// kept rows keep their relative order, so the new partitioning follows
 	// by index arithmetic with no rehashing.
 	r.part.Store(deriveKeptView(pv, keep))
+	r.colv.Store(deriveKeptColView(cv, r.rows, keep))
+}
+
+// keepMaskOK decides whether subtract/minus takes the hash-carry keep-mask
+// path: always when parallel over a large input (the PR-5 rule), and in batch
+// mode additionally whenever a cached partition view exists or the input is
+// large enough to seed one — reusing the hash column beats rehashing every
+// kept row, and the derived view keeps the cross-version carry chain alive
+// even at one partition.
+func (r *Relation) keepMaskOK(par Par) bool {
+	if par.Enabled() && r.Len() >= ParMinRows {
+		return true
+	}
+	return par.Batch && (r.part.Load() != nil || r.Len() >= ParMinRows)
 }
 
 // ParMinusCOW is MinusCOW with partition-parallel matching; the inputs are
@@ -331,7 +357,7 @@ func (r *Relation) ParSubtractAll(o *Relation, par Par) {
 // order (byte-identical to MinusCOW at any partition count).
 func ParMinusCOW(r, sub *Relation, par Par) *Relation {
 	par = par.Norm()
-	if sub.Len() == 0 || !par.Enabled() || r.Len() < ParMinRows {
+	if sub.Len() == 0 || !r.keepMaskOK(par) {
 		return MinusCOW(r, sub)
 	}
 	keep := r.parMinusKeep(sub, par)
@@ -347,6 +373,7 @@ func ParMinusCOW(r, sub *Relation, par Par) *Relation {
 	// so a COW refresh cycle (UnionCOW then ParMinusCOW) never rehashes the
 	// stored result.
 	out.part.Store(deriveKeptView(r.part.Load(), keep))
+	out.colv.Store(deriveKeptColView(r.colv.Load(), out.rows, keep))
 	return out
 }
 
@@ -388,11 +415,26 @@ func deriveKeptView(pv *PartView, keep []bool) *PartView {
 // parMinusKeep marks, per partition concurrently, which of r's rows survive
 // removing each tuple of sub once. Workers touch disjoint keep indexes (a
 // tuple's copies all share a partition), so the mask needs no locking.
+// A cached view at a different partition count than the configuration is
+// reused as-is (the batch engine carries views across partition settings);
+// the removal multiset is then built at the view's count so residues match.
 func (r *Relation) parMinusKeep(sub *Relation, par Par) []bool {
-	pv := r.PartView(par)
-	remove := ParCounts(sub, par)
+	pv := r.part.Load()
+	if pv == nil {
+		pv = r.PartView(par)
+	}
+	parts := pv.Parts()
+	var remove *TupleCounts
+	if parts == par.Partitions {
+		remove = ParCounts(sub, par)
+	} else {
+		remove = newTupleCountsParts(sub.Len(), parts)
+		for _, t := range sub.rows {
+			remove.Add(t, 1)
+		}
+	}
 	keep := make([]bool, len(r.rows))
-	ForParts(par.Partitions, par.Workers, func(p int) {
+	ForParts(parts, par.Workers, func(p int) {
 		part := &remove.parts[p]
 		for _, i := range pv.Rows(p) {
 			if !part.remove(pv.Hash(int(i)), r.rows[i]) {

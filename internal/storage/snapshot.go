@@ -217,6 +217,9 @@ func UnionCOW(r, add *Relation) *Relation {
 	if pv := r.part.Load(); pv != nil {
 		out.part.Store(extendPartView(pv, add.rows, r.Len()))
 	}
+	if cv := r.colv.Load(); cv != nil {
+		out.colv.Store(extendColView(cv, out.rows))
+	}
 	return out
 }
 

@@ -19,12 +19,14 @@ import (
 // Relation is an in-memory multiset of tuples with a fixed schema.
 // Duplicates are represented positionally (a tuple may appear several times).
 // A relation version may additionally carry a cached hash-partition view
-// (PartView, partition.go) used by the partition-parallel operators; any
-// in-place mutation drops it.
+// (PartView, partition.go) used by the partition-parallel operators and a
+// cached column view (ColView, colview.go) used by the vectorized batch
+// engine; any in-place mutation drops both.
 type Relation struct {
 	schema algebra.Schema
 	rows   []algebra.Tuple
 	part   atomic.Pointer[PartView]
+	colv   atomic.Pointer[ColView]
 }
 
 // NewRelation creates an empty relation with the given schema.

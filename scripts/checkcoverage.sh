@@ -8,7 +8,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE="${COVERAGE_BASELINE:-78.0}"
+BASELINE="${COVERAGE_BASELINE:-78.5}"
 PROFILE="$(mktemp)"
 OUT="$(mktemp)"
 trap 'rm -f "$PROFILE" "$OUT"' EXIT

@@ -17,6 +17,11 @@
 // columnar batch engine (default) or the row-at-a-time engine. Maintained
 // results are identical at any setting of every flag.
 //
+// -feedback records every observed operator cardinality against its
+// optimizer estimate and prints a per-night estimation-error (q-error)
+// summary; it changes no plan and no result. Default off: the refresh is
+// byte-identical to a run without the flag.
+//
 // -wal-dir switches the nightly batches onto the durable streaming path:
 // updates flow through the bounded ingest queue, every micro-batch is
 // group-committed to a write-ahead log in that directory before its epochs
@@ -50,6 +55,7 @@ func main() {
 	workers := flag.Int("workers", 0, "refresh worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	partitions := flag.Int("partitions", 1, "hash partitions per operator (<=1 = sequential operators)")
 	execMode := flag.String("exec", defaultExecMode(), "operator engine: batch (vectorized columnar) or row")
+	feedback := flag.Bool("feedback", false, "record observed cardinalities and report per-night estimation error (q-error)")
 	walDir := flag.String("wal-dir", "", "write-ahead log directory; enables the durable streaming path")
 	fsync := flag.Bool("fsync", false, "fsync group commits (with -wal-dir): durable against machine crashes")
 	commitWindow := flag.Duration("commit-window", 2*time.Millisecond, "group-commit coalescing window (with -wal-dir)")
@@ -110,6 +116,13 @@ func main() {
 	rt := plan.NewRuntime(db)
 	rt.SetWorkers(*workers)
 	rt.SetPartitions(*partitions)
+	if *feedback {
+		// Telemetry only here: without adaptation no re-selection consumes
+		// the corrections, but the per-night q-error shows how far the static
+		// estimates drift as batches accumulate. Default off keeps plans and
+		// timings byte-identical to earlier releases.
+		rt.EnableFeedbackObserver()
+	}
 	fmt.Printf("materialized %d results (refresh workers: %d, 0 = GOMAXPROCS; operator partitions: %d; engine: %s)\n\n",
 		len(plan.Eval.MS.Fulls.Full), *workers, *partitions, *execMode)
 
@@ -133,6 +146,12 @@ func main() {
 			fmt.Printf("  (%.1fx)", float64(verifyTime)/float64(refreshTime))
 		}
 		fmt.Println(" — verified exact")
+		if *feedback {
+			st := rt.FeedbackStats()
+			fmt.Printf("         estimation error: q-error median %.2f, p90 %.2f, max %.1f over %d estimates (%d observed cardinalities)\n",
+				st.QMedian, st.QP90, st.QMax, st.QCount, st.Observations)
+			rt.Feedback().ResetQ() // per-night windows
+		}
 	}
 }
 

@@ -25,6 +25,14 @@
 // workload (core.Runtime.Adapt) and hot-swaps it at an epoch boundary, and
 // the run is reported against a static baseline tuned for the initial mix.
 //
+// -feedback switches to the feedback-driven costing experiment: update
+// batches are skewed (foreign keys concentrated on the lowest -hot-frac of
+// the key space) so differential cardinalities drift from the histogram
+// estimates, and the skewed drifting workload is run three times — static
+// plan, adaptive with static estimates, adaptive with observed cardinalities
+// correcting every re-selection round — reporting estimation error (q-error)
+// and throughput. -json writes the summary as a JSON object.
+//
 // -wal-dir switches to the durable serving experiment: readers query epoch
 // snapshots while updates stream through the bounded ingest queue and every
 // micro-batch is group-committed to a write-ahead log (in a throwaway
@@ -62,6 +70,9 @@ func main() {
 	cacheMB := flag.Float64("cache", 64, "dynamic result cache budget in MB (negative disables)")
 	check := flag.Bool("check", false, "verify sampled answers against step-boundary recomputation")
 	adapt := flag.Bool("adapt", false, "drifting workload with online re-selection, vs a static baseline")
+	feedback := flag.Bool("feedback", false, "feedback-driven costing experiment: skewed drifting workload, observed cardinalities correcting re-selection, vs static estimates")
+	hotFrac := flag.Float64("hot-frac", 0.02, "update skew (with -feedback): inserted foreign keys draw from this lowest fraction of the key space")
+	jsonOut := flag.String("json", "", "write the -feedback summary as JSON to this file")
 	seed := flag.Int64("seed", 11, "data and drift seed (with -adapt)")
 	walDir := flag.String("wal-dir", "", "serve over the durable streaming path; WAL lives in this directory")
 	fsync := flag.Bool("fsync", false, "fsync group commits (with -wal-dir)")
@@ -125,6 +136,36 @@ func main() {
 		fmt.Print(r.Format())
 		if !r.Verified {
 			fmt.Fprintln(os.Stderr, "mvserve: FAILED (diverged views)")
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *feedback {
+		fmt.Printf("generating TPC-D at SF %g and driving a skewed drifting workload over %d readers…\n",
+			*sf, *readers)
+		c := bench.FeedbackExperiment(bench.AdaptiveConfig{
+			ScaleFactor: *sf, UpdatePct: *pct,
+			Readers: *readers, CyclesPerPhase: *cycles, Workers: *workers,
+			Partitions:  *partitions,
+			CacheBudget: *cacheMB * (1 << 20),
+			Seed:        *seed, Check: *check,
+			HotFrac: *hotFrac,
+		})
+		fmt.Print(c.Format())
+		if *jsonOut != "" {
+			data, err := c.JSON()
+			if err == nil {
+				err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if !c.Sound() || c.Corrected.Installs == 0 || c.Corrected.Q.QTotal == 0 {
+			fmt.Fprintln(os.Stderr, "mvserve: FAILED (inconsistent results, diverged views, or feedback never reached a live plan)")
 			os.Exit(1)
 		}
 		return

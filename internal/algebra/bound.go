@@ -8,6 +8,9 @@ import "fmt"
 // once per input and evaluate the bound form in their row loops.
 type BoundPred struct {
 	cs []boundCmp
+	// clauses are compiled disjunctions ANDed with cs (CNF, mirroring
+	// Pred.Clauses).
+	clauses [][]boundCmp
 }
 
 // boundCmp is one compiled conjunct. A side is either a tuple index (idx >=
@@ -36,11 +39,24 @@ func (p Pred) Bind(s Schema) BoundPred {
 			panic(fmt.Sprintf("algebra: cannot bind expression %T", e))
 		}
 	}
-	for i, c := range p.Conjuncts {
+	bind := func(c Cmp) boundCmp {
 		bc := boundCmp{op: c.Op}
 		bc.li, bc.lv = side(c.L)
 		bc.ri, bc.rv = side(c.R)
-		out.cs[i] = bc
+		return bc
+	}
+	for i, c := range p.Conjuncts {
+		out.cs[i] = bind(c)
+	}
+	if len(p.Clauses) > 0 {
+		out.clauses = make([][]boundCmp, len(p.Clauses))
+		for i, cl := range p.Clauses {
+			bcl := make([]boundCmp, len(cl))
+			for j, c := range cl {
+				bcl[j] = bind(c)
+			}
+			out.clauses[i] = bcl
+		}
 	}
 	return out
 }
@@ -54,6 +70,28 @@ type BoundCmp struct {
 	Op         CmpOp
 	LIdx, RIdx int
 	LVal, RVal Value
+}
+
+// HasClauses reports whether the bound predicate carries disjunctive
+// clauses. Cmps covers only the conjuncts, so any consumer flattening a
+// BoundPred to []BoundCmp (the shard wire format) must reject clause-bearing
+// predicates rather than silently dropping the clauses.
+func (p BoundPred) HasClauses() bool { return len(p.clauses) > 0 }
+
+// Clauses returns the compiled disjunctive clauses in BoundCmp form.
+func (p BoundPred) Clauses() [][]BoundCmp {
+	if len(p.clauses) == 0 {
+		return nil
+	}
+	out := make([][]BoundCmp, len(p.clauses))
+	for i, cl := range p.clauses {
+		ocl := make([]BoundCmp, len(cl))
+		for j, c := range cl {
+			ocl[j] = BoundCmp{Op: c.op, LIdx: c.li, RIdx: c.ri, LVal: c.lv, RVal: c.rv}
+		}
+		out[i] = ocl
+	}
+	return out
 }
 
 // Cmps returns the compiled conjuncts (the encode side of a serialized
@@ -77,33 +115,50 @@ func NewBoundPred(cs []BoundCmp) BoundPred {
 	return out
 }
 
-// Eval evaluates the bound conjunction against a tuple.
+// evalCmp evaluates one compiled comparison against a tuple.
+func (c boundCmp) eval(t Tuple) bool {
+	l, r := c.lv, c.rv
+	if c.li >= 0 {
+		l = t[c.li]
+	}
+	if c.ri >= 0 {
+		r = t[c.ri]
+	}
+	cmp := l.Compare(r)
+	switch c.op {
+	case EQ:
+		return cmp == 0
+	case NE:
+		return cmp != 0
+	case LT:
+		return cmp < 0
+	case LE:
+		return cmp <= 0
+	case GT:
+		return cmp > 0
+	case GE:
+		return cmp >= 0
+	}
+	return false
+}
+
+// Eval evaluates the bound predicate against a tuple: every conjunct and at
+// least one alternative of every clause.
 func (p BoundPred) Eval(t Tuple) bool {
 	for _, c := range p.cs {
-		l, r := c.lv, c.rv
-		if c.li >= 0 {
-			l = t[c.li]
+		if !c.eval(t) {
+			return false
 		}
-		if c.ri >= 0 {
-			r = t[c.ri]
+	}
+	for _, cl := range p.clauses {
+		any := false
+		for _, c := range cl {
+			if c.eval(t) {
+				any = true
+				break
+			}
 		}
-		cmp := l.Compare(r)
-		var ok bool
-		switch c.op {
-		case EQ:
-			ok = cmp == 0
-		case NE:
-			ok = cmp != 0
-		case LT:
-			ok = cmp < 0
-		case LE:
-			ok = cmp <= 0
-		case GT:
-			ok = cmp > 0
-		case GE:
-			ok = cmp >= 0
-		}
-		if !ok {
+		if !any {
 			return false
 		}
 	}

@@ -122,9 +122,10 @@ func (c Const) Columns(dst []string) []string { return dst }
 // Eval returns the literal.
 func (c Const) Eval(Schema, Tuple) Value { return c.Val }
 
-// Cmp is a binary comparison. Predicates in this system are conjunctions of
-// comparisons; OR is intentionally unsupported (the paper's workloads are
-// conjunctive select-project-join-aggregate views).
+// Cmp is a binary comparison. Predicates in this system are in conjunctive
+// normal form: plain comparisons (the common case — the paper's workloads are
+// conjunctive select-project-join-aggregate views) plus optional disjunctive
+// clauses (Pred.Clauses) for OR-of-comparisons.
 type Cmp struct {
 	Op   CmpOp
 	L, R Expr
@@ -183,29 +184,54 @@ func (c Cmp) Eval(s Schema, t Tuple) Value {
 	return NewInt(0)
 }
 
-// Pred is a conjunction of comparisons. The empty conjunction is TRUE.
+// Pred is a predicate in conjunctive normal form: every Conjunct must hold
+// AND every Clause (a disjunction of comparisons) must have at least one true
+// alternative. The empty predicate is TRUE; an empty clause is FALSE.
 type Pred struct {
 	Conjuncts []Cmp
+	// Clauses are disjunctions ANDed with the conjuncts. Single-alternative
+	// clauses belong in Conjuncts (the canonical form the planners key on);
+	// only genuine OR-of-comparisons go here.
+	Clauses [][]Cmp
 }
 
 // And builds a conjunction.
 func And(cs ...Cmp) Pred { return Pred{Conjuncts: cs} }
 
+// Or builds a predicate with one disjunctive clause.
+func Or(cs ...Cmp) Pred { return Pred{Clauses: [][]Cmp{cs}} }
+
 // TruePred is the empty (always-true) predicate.
 func TruePred() Pred { return Pred{} }
 
-// IsTrue reports whether the predicate is the empty conjunction.
-func (p Pred) IsTrue() bool { return len(p.Conjuncts) == 0 }
+// IsTrue reports whether the predicate is empty.
+func (p Pred) IsTrue() bool { return len(p.Conjuncts) == 0 && len(p.Clauses) == 0 }
 
-// String renders the conjunction canonically with conjuncts sorted, so that
-// predicate sets compare and hash independently of construction order.
+// HasClauses reports whether the predicate carries disjunctive clauses —
+// consumers that only understand conjunctions (index-key extraction, shard
+// lowering, subsumption implication tests) must check this and either handle
+// or conservatively reject the predicate.
+func (p Pred) HasClauses() bool { return len(p.Clauses) > 0 }
+
+// String renders the predicate canonically with conjuncts and clauses sorted,
+// so that predicate sets compare and hash independently of construction
+// order. A conjunction-only predicate renders exactly as before clauses
+// existed (DAG unification keys are derived from this rendering).
 func (p Pred) String() string {
 	if p.IsTrue() {
 		return "true"
 	}
-	parts := make([]string, len(p.Conjuncts))
-	for i, c := range p.Conjuncts {
-		parts[i] = c.String()
+	parts := make([]string, 0, len(p.Conjuncts)+len(p.Clauses))
+	for _, c := range p.Conjuncts {
+		parts = append(parts, c.String())
+	}
+	for _, cl := range p.Clauses {
+		alts := make([]string, len(cl))
+		for i, c := range cl {
+			alts[i] = c.String()
+		}
+		sort.Strings(alts)
+		parts = append(parts, "("+strings.Join(alts, " OR ")+")")
 	}
 	sort.Strings(parts)
 	return strings.Join(parts, " AND ")
@@ -216,13 +242,30 @@ func (p Pred) Columns(dst []string) []string {
 	for _, c := range p.Conjuncts {
 		dst = c.Columns(dst)
 	}
+	for _, cl := range p.Clauses {
+		for _, c := range cl {
+			dst = c.Columns(dst)
+		}
+	}
 	return dst
 }
 
-// Eval evaluates the conjunction against a tuple.
+// Eval evaluates the predicate against a tuple.
 func (p Pred) Eval(s Schema, t Tuple) bool {
 	for _, c := range p.Conjuncts {
 		if c.Eval(s, t).I == 0 {
+			return false
+		}
+	}
+	for _, cl := range p.Clauses {
+		any := false
+		for _, c := range cl {
+			if c.Eval(s, t).I != 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
 			return false
 		}
 	}
@@ -240,7 +283,7 @@ func (p Pred) RefersOnlyTo(s Schema) bool {
 	return true
 }
 
-// AndPred concatenates two conjunctions.
+// AndPred conjoins two predicates, concatenating conjuncts and clauses.
 func AndPred(a, b Pred) Pred {
 	if a.IsTrue() {
 		return b
@@ -251,7 +294,13 @@ func AndPred(a, b Pred) Pred {
 	out := make([]Cmp, 0, len(a.Conjuncts)+len(b.Conjuncts))
 	out = append(out, a.Conjuncts...)
 	out = append(out, b.Conjuncts...)
-	return Pred{Conjuncts: out}
+	var cls [][]Cmp
+	if len(a.Clauses)+len(b.Clauses) > 0 {
+		cls = make([][]Cmp, 0, len(a.Clauses)+len(b.Clauses))
+		cls = append(cls, a.Clauses...)
+		cls = append(cls, b.Clauses...)
+	}
+	return Pred{Conjuncts: out, Clauses: cls}
 }
 
 // HashString hashes a canonical string to 64 bits (FNV-1a). Shared helper for

@@ -12,6 +12,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/diff"
 	"repro/internal/exec"
+	"repro/internal/feedback"
 	"repro/internal/greedy"
 	"repro/internal/storage"
 	"repro/internal/tpcd"
@@ -56,6 +57,15 @@ type AdaptiveConfig struct {
 	// Adaptive enables EnableAdapt (one build round per cycle, installed at
 	// the next boundary); off, the initial selection serves every phase.
 	Adaptive bool
+	// HotFrac, when in (0,1), skews every update batch: inserted foreign
+	// keys draw from only the lowest HotFrac of the referenced key space
+	// (tpcd.LogSkewedUpdates), so differential cardinalities drift away from
+	// what the uniform-assumption histograms predict. 0 (or 1) keeps the
+	// uniform update model.
+	HotFrac float64
+	// Feedback selects observed-cardinality capture (core.EnableFeedback):
+	// off, telemetry-only, or corrections feeding each adaptation round.
+	Feedback FeedbackMode
 	// Check retains snapshots and verifies sampled results against
 	// recomputation at their claimed epochs.
 	Check bool
@@ -85,7 +95,30 @@ type AdaptiveResult struct {
 	Consistent, Verified           bool
 	// WorkloadReport is the tracker's view of the observed workload.
 	WorkloadReport string
+	// Q is the feedback store's counter snapshot at the end of the final
+	// phase — observation counts and the q-error distribution of optimizer
+	// estimates against executed cardinalities (zero when Cfg.Feedback is
+	// FeedbackOff). The q-error window is reset at each phase boundary, so
+	// Q's window statistics describe the last phase: the steady state after
+	// the drift, where corrections have had cycles to propagate. QPhases
+	// holds the per-phase snapshots.
+	Q       feedback.Stats
+	QPhases []feedback.Stats
 }
+
+// FeedbackMode says how a run uses the feedback store.
+type FeedbackMode int
+
+const (
+	// FeedbackOff installs no observation hooks.
+	FeedbackOff FeedbackMode = iota
+	// FeedbackObserve records observed cardinalities and q-errors but never
+	// corrects the cost model: the static-estimate baseline, measured.
+	FeedbackObserve
+	// FeedbackCorrect additionally feeds observations into every adaptation
+	// round's cost model (diff.NewEngineObserved).
+	FeedbackCorrect
+)
 
 // AdaptiveServe runs one drifting-workload serving experiment.
 func AdaptiveServe(cfg AdaptiveConfig) AdaptiveResult {
@@ -124,6 +157,12 @@ func AdaptiveServe(cfg AdaptiveConfig) AdaptiveResult {
 		if err := rt.EnableAdapt(core.AdaptOptions{EveryCycles: 1, Sync: true, TopQueries: 8}); err != nil {
 			panic(err)
 		}
+	}
+	switch cfg.Feedback {
+	case FeedbackObserve:
+		rt.EnableFeedbackObserver()
+	case FeedbackCorrect:
+		rt.EnableFeedback()
 	}
 
 	// Per-phase weighted round-robin schedules: each query index repeated
@@ -194,16 +233,28 @@ func AdaptiveServe(cfg AdaptiveConfig) AdaptiveResult {
 	// run-wide total.
 	phaseDur := make([]time.Duration, len(cfg.Phases))
 	phaseN := make([]int64, len(cfg.Phases))
+	var qPhases []feedback.Stats
 	for p := range cfg.Phases {
 		phase.Store(int32(p))
 		t0 := time.Now()
 		for c := 0; c < cfg.CyclesPerPhase; c++ {
-			tpcd.LogUniformUpdates(cat, rt.Ex.DB, rels, cfg.UpdatePct,
-				cfg.Seed+int64(1000+p*100+c))
+			if cfg.HotFrac > 0 && cfg.HotFrac < 1 {
+				tpcd.LogSkewedUpdates(cat, rt.Ex.DB, rels, cfg.UpdatePct, cfg.HotFrac,
+					cfg.Seed+int64(1000+p*100+c))
+			} else {
+				tpcd.LogUniformUpdates(cat, rt.Ex.DB, rels, cfg.UpdatePct,
+					cfg.Seed+int64(1000+p*100+c))
+			}
 			rt.Refresh()
 		}
 		phaseDur[p] = time.Since(t0)
 		phaseN[p] = answered[p].Load()
+		if fb := rt.Feedback(); fb != nil {
+			qPhases = append(qPhases, fb.Stats())
+			if p < len(cfg.Phases)-1 {
+				fb.ResetQ() // per-phase q-error windows; cumulative counters survive
+			}
+		}
 	}
 	rt.InstallPending() // a final boundary, so a last-cycle build still lands
 	done.Store(true)
@@ -218,6 +269,10 @@ func AdaptiveServe(cfg AdaptiveConfig) AdaptiveResult {
 		Consistent:     true,
 		Verified:       rt.Verify() == nil,
 		WorkloadReport: rt.WorkloadReport(),
+		QPhases:        qPhases,
+	}
+	if n := len(qPhases); n > 0 {
+		out.Q = qPhases[n-1]
 	}
 	for p := range cfg.Phases {
 		out.Queries += answered[p].Load()

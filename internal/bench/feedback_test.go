@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestFeedbackDriftSmoke runs the full feedback experiment at a tiny scale:
+// all three runs must verify and stay consistent, every mode must actually
+// record estimation error, and the corrected run's median q-error must not
+// exceed the static-estimate baseline (the ≥2x reduction headline is
+// asserted at benchmark scale by scripts/benchjson.sh, not here).
+func TestFeedbackDriftSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("feedback drift experiment is slow")
+	}
+	c := FeedbackExperiment(AdaptiveConfig{
+		ScaleFactor: 0.002, UpdatePct: 8, HotFrac: 0.02,
+		Readers: 2, CyclesPerPhase: 5,
+		Seed: 11, Check: true,
+	})
+	t.Logf("\n%s", c.Format())
+	if !c.Sound() {
+		t.Fatalf("feedback experiment failed verification or consistency")
+	}
+	if c.Observed.Q.QTotal == 0 || c.Corrected.Q.QTotal == 0 {
+		t.Fatalf("no q-errors recorded: observed %d, corrected %d",
+			c.Observed.Q.QTotal, c.Corrected.Q.QTotal)
+	}
+	if c.Static.Q.Observations == 0 {
+		t.Fatalf("static run recorded no observations")
+	}
+	if c.Corrected.Installs == 0 {
+		t.Fatalf("corrected run installed no swaps: corrections never reached a live plan")
+	}
+	if c.Corrected.Q.QMedian > c.Observed.Q.QMedian {
+		t.Errorf("feedback increased median q-error: %.3f (corrected) > %.3f (static estimates)",
+			c.Corrected.Q.QMedian, c.Observed.Q.QMedian)
+	}
+}

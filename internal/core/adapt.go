@@ -311,6 +311,15 @@ func (r *Runtime) adaptRound() (*AdaptResult, error) {
 		Params:             plan.System.Model.P,
 		DisableSubsumption: plan.System.disableSubsumption,
 	})
+	// With feedback enabled, re-selection prices candidates against observed
+	// cardinalities: the store is keyed by canonical node key, so corrections
+	// recorded against the prior system's DAG apply to the rebuilt one.
+	// (Observer mode keeps telemetry without touching the cost model.)
+	r.adaptMu.Lock()
+	if r.fb != nil && r.fbCorrect {
+		sys.Corr = r.fb
+	}
+	r.adaptMu.Unlock()
 	for _, v := range plan.System.Views {
 		if _, err := sys.AddView(v.Name, v.Def); err != nil {
 			return nil, fmt.Errorf("core: adapt: %w", err)
@@ -355,11 +364,18 @@ func (r *Runtime) adaptRound() (*AdaptResult, error) {
 		Picks:           len(newPlan.Greedy.Chosen),
 	}
 	res.Incoming, res.Outgoing = setDelta(plan, newPlan)
-	if len(res.Incoming) == 0 && len(res.Outgoing) == 0 &&
-		sameAuxiliary(plan, newPlan) {
+	setSame := len(res.Incoming) == 0 && len(res.Outgoing) == 0 &&
+		sameAuxiliary(plan, newPlan)
+	if setSame && sys.Corr == nil {
 		return res, nil // same materialized set: nothing to swap
 	}
-	if keep-newPlan.TotalCost < opts.MinImprovement*keep {
+	if setSame {
+		// Same set, but the new plan was priced with fresher observed
+		// cardinalities: arming the (carry-everything, build-nothing) swap
+		// installs the corrected engine and plan estimates without touching a
+		// single stored relation. Hysteresis does not apply — there is no
+		// materialization churn to guard against.
+	} else if keep-newPlan.TotalCost < opts.MinImprovement*keep {
 		return res, nil // set changed but the saving is churn-level
 	}
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/diff"
 	"repro/internal/exec"
+	"repro/internal/feedback"
 	"repro/internal/greedy"
 	"repro/internal/storage"
 	"repro/internal/volcano"
@@ -48,6 +49,13 @@ type System struct {
 	Model   *cost.Model
 	Views   []View
 	Queries []Query
+
+	// Corr, when non-nil, supplies observed cardinalities that take
+	// precedence over histogram estimates in every engine this system builds
+	// (diff.NewEngineObserved). The adaptation pipeline sets it from the
+	// runtime's feedback store (feedback.go); nil keeps the static path
+	// byte-identical.
+	Corr diff.Corrections
 
 	prepared           bool
 	disableSubsumption bool
@@ -147,7 +155,7 @@ type MaintenancePlan struct {
 // chooses between incremental maintenance and recomputation per view.
 func (s *System) OptimizeNoGreedy(u *diff.UpdateSpec) *MaintenancePlan {
 	s.prepare()
-	en := diff.NewEngine(s.Dag, s.Model, u)
+	en := diff.NewEngineObserved(s.Dag, s.Model, u, s.Corr)
 	ms := diff.NewMatState()
 	for _, v := range s.Views {
 		ms.Fulls.Full[v.Root.ID] = true
@@ -165,7 +173,7 @@ func (s *System) OptimizeNoGreedy(u *diff.UpdateSpec) *MaintenancePlan {
 // permanent materializations (and indexes) on top of the view set.
 func (s *System) OptimizeGreedy(u *diff.UpdateSpec, cfg greedy.Config) *MaintenancePlan {
 	s.prepare()
-	en := diff.NewEngine(s.Dag, s.Model, u)
+	en := diff.NewEngineObserved(s.Dag, s.Model, u, s.Corr)
 	roots := make([]*dag.Equiv, len(s.Views))
 	for i, v := range s.Views {
 		roots[i] = v.Root
@@ -307,7 +315,7 @@ type QueryPlan struct {
 //	Σ_views refresh cost + Σ_queries weight × evaluation cost.
 func (s *System) OptimizeWorkload(u *diff.UpdateSpec, cfg greedy.Config) *MaintenancePlan {
 	s.prepare()
-	en := diff.NewEngine(s.Dag, s.Model, u)
+	en := diff.NewEngineObserved(s.Dag, s.Model, u, s.Corr)
 	roots, queries := s.workloadInputs()
 	res := greedy.RunWorkload(en, roots, queries, cfg)
 	plan := &MaintenancePlan{
@@ -368,6 +376,17 @@ type Runtime struct {
 	lastFingerprint map[string]float64
 	cycles          int
 	lastRoundCycle  int
+
+	// Feedback-driven costing state (feedback.go): the observed-cardinality
+	// store and the shared operator-observation closure the serve path
+	// attaches to its ad-hoc executors. Both are set once by EnableFeedback
+	// (before concurrent refresh/serving) and read-only afterwards.
+	fb *feedback.Store
+	// fbCorrect distinguishes EnableFeedback (observations correct the next
+	// adaptation round's cost model) from EnableFeedbackObserver (telemetry
+	// only).
+	fbCorrect bool
+	fbObs     func(e *dag.Equiv, est, act float64)
 }
 
 // NewRuntime materializes every result the plan expects (views plus chosen

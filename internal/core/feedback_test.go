@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/diff"
+	"repro/internal/feedback"
+	"repro/internal/greedy"
+	"repro/internal/tpcd"
+)
+
+// TestFeedbackOffByteIdentical: with feedback off (no Corr, or an empty
+// store that has observed nothing), optimization is byte-identical to the
+// seed behavior — the correction layer must be invisible until it holds
+// observations.
+func TestFeedbackOffByteIdentical(t *testing.T) {
+	build := func(corr diff.Corrections) (string, string) {
+		cat := tpcd.NewCatalog(0.01, true)
+		s := NewSystem(cat, Options{})
+		s.Corr = corr
+		for _, v := range tpcd.ViewSet5(cat, true) {
+			if _, err := s.AddView(v.Name, v.Def); err != nil {
+				t.Fatal(err)
+			}
+		}
+		u := diff.UniformPercent(cat, tpcd.UpdatedRelations(), 5)
+		return s.OptimizeNoGreedy(u).Report(),
+			s.OptimizeGreedy(u, greedy.DefaultConfig()).Report()
+	}
+	ngNil, gNil := build(nil)
+	ngEmpty, gEmpty := build(feedback.NewStore())
+	if ngNil != ngEmpty {
+		t.Errorf("empty store changed the baseline plan:\n--- nil ---\n%s--- empty ---\n%s", ngNil, ngEmpty)
+	}
+	if gNil != gEmpty {
+		t.Errorf("empty store changed the greedy plan:\n--- nil ---\n%s--- empty ---\n%s", gNil, gEmpty)
+	}
+}
+
+// feedbackPass generates a database, optimizes the five-view workload with
+// the given correction layer, runs skewed refresh cycles with an observer
+// store attached, verifies exactness, and returns the runtime's store (its
+// q-error window measures how wrong this pass's plan estimates were; its
+// observations can correct a later pass).
+func feedbackPass(t *testing.T, seed int64, corr diff.Corrections) *feedback.Store {
+	t.Helper()
+	const (
+		sf      = 0.002
+		pct     = 8.0
+		hotFrac = 0.02
+		cycles  = 3
+	)
+	cat := tpcd.NewCatalog(sf, true)
+	db := tpcd.Generate(cat, sf, seed)
+	s := NewSystem(cat, Options{})
+	s.Corr = corr
+	for _, v := range tpcd.ViewSet5(cat, true) {
+		if _, err := s.AddView(v.Name, v.Def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	updated := tpcd.UpdatedRelations()
+	plan := s.OptimizeNoGreedy(diff.UniformPercent(cat, updated, pct))
+	rt := plan.NewRuntime(db)
+	rt.EnableFeedbackObserver()
+	for c := 0; c < cycles; c++ {
+		tpcd.LogSkewedUpdates(cat, db, updated, pct, hotFrac, seed+100+int64(c))
+		rt.Refresh()
+	}
+	if err := rt.Verify(); err != nil {
+		t.Fatalf("seed %d: maintained views diverged: %v", seed, err)
+	}
+	return rt.Feedback()
+}
+
+// TestFeedbackMonotoneOnReplay: replaying an identical skewed workload with
+// the first pass's observed cardinalities correcting the optimizer must
+// never increase the median estimation error — the feedback property the
+// tentpole rests on. Observations are keyed by canonical DAG key, so a store
+// recorded against one System corrects a freshly built equivalent System.
+func TestFeedbackMonotoneOnReplay(t *testing.T) {
+	for _, seed := range []int64{3, 11, 29} {
+		first := feedbackPass(t, seed, nil)
+		st1 := first.Stats()
+		if st1.QCount == 0 || st1.Observations == 0 {
+			t.Fatalf("seed %d: first pass observed nothing (%+v)", seed, st1)
+		}
+		second := feedbackPass(t, seed, first)
+		st2 := second.Stats()
+		if st2.QCount == 0 {
+			t.Fatalf("seed %d: corrected pass recorded no estimates", seed)
+		}
+		if st2.QMedian > st1.QMedian+1e-9 {
+			t.Errorf("seed %d: corrections raised median q-error: %.4f -> %.4f",
+				seed, st1.QMedian, st2.QMedian)
+		}
+	}
+}

@@ -318,7 +318,7 @@ func (r *Runtime) Query(sql string) (*QueryResult, error) {
 	// base-only plans are mutually independent), then are installed back
 	// into the cache unless a newer epoch has invalidated it meanwhile.
 	for _, rf := range refills {
-		rex := &exec.Executor{DB: snap.Database(), Mat: mats, Par: par}
+		rex := &exec.Executor{DB: snap.Database(), Mat: mats, Par: par, Obs: r.fbObs}
 		mats[rf.id] = rex.Run(rf.plan)
 	}
 	if len(refills) > 0 {
@@ -333,7 +333,11 @@ func (r *Runtime) Query(sql string) (*QueryResult, error) {
 		}
 		s.mu.Unlock()
 	}
-	ex := &exec.Executor{DB: snap.Database(), Mat: mats, Par: par}
+	// With feedback enabled (r.fbObs set before serving started), every
+	// operator of the served plan — including Reuse reads of maintained
+	// views, whose stored length is the node's true cardinality — reports
+	// its actual output against the optimizer's estimate.
+	ex := &exec.Executor{DB: snap.Database(), Mat: mats, Par: par, Obs: r.fbObs}
 	rows := ex.Run(plan)
 	return &QueryResult{
 		SQL: sql, Rows: rows, Plan: plan,

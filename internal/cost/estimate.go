@@ -55,6 +55,14 @@ func (e *Estimator) Distinct(qname string, effRows map[string]float64) float64 {
 	return d
 }
 
+// knownDistinct reports whether a Distinct result is a usable count: strictly
+// positive, finite, and not the computed-column sentinel. Every selectivity
+// arm must check this before dividing, so the sentinel can never leak into a
+// selectivity product as Inf/NaN or a subnormal near-zero factor.
+func knownDistinct(d float64) bool {
+	return d > 0 && d < math.MaxFloat64 && !math.IsNaN(d)
+}
+
 // colHist returns the histogram of a column (nil if absent) and its distinct
 // count for per-bucket spreading.
 func (e *Estimator) colHist(qname string) (*catalog.Histogram, int64) {
@@ -94,11 +102,20 @@ func (e *Estimator) Selectivity(c algebra.Cmp, effRows map[string]float64) float
 		if c.Op == algebra.EQ {
 			dl := e.Distinct(lc.QName(), effRows)
 			dr := e.Distinct(rc.QName(), effRows)
-			d := math.Max(dl, dr)
-			if d <= 0 || d == math.MaxFloat64 {
+			// A computed column (aggregate output) reports the sentinel; use
+			// the known side's distinct count instead of letting the sentinel
+			// swallow it via max() and degrade both sides to the default.
+			lk, rk := knownDistinct(dl), knownDistinct(dr)
+			switch {
+			case lk && rk:
+				return 1 / math.Max(dl, dr)
+			case lk:
+				return 1 / dl
+			case rk:
+				return 1 / dr
+			default:
 				return 0.1
 			}
-			return 1 / d
 		}
 		return e.DefaultRangeSel
 	case lIsCol || rIsCol:
@@ -119,7 +136,7 @@ func (e *Estimator) Selectivity(c algebra.Cmp, effRows map[string]float64) float
 				return math.Max(hist.FracEq(lit.AsFloat(), distinct), 1e-6)
 			}
 			d := e.Distinct(col.QName(), effRows)
-			if d <= 0 || d == math.MaxFloat64 {
+			if !knownDistinct(d) {
 				return 0.05
 			}
 			return 1 / d
@@ -128,7 +145,7 @@ func (e *Estimator) Selectivity(c algebra.Cmp, effRows map[string]float64) float
 				return math.Min(1-hist.FracEq(lit.AsFloat(), distinct), 1)
 			}
 			d := e.Distinct(col.QName(), effRows)
-			if d <= 0 || d == math.MaxFloat64 {
+			if !knownDistinct(d) {
 				return 0.95
 			}
 			return 1 - 1/d
@@ -158,6 +175,20 @@ func (e *Estimator) Selectivity(c algebra.Cmp, effRows map[string]float64) float
 	default:
 		return 1
 	}
+}
+
+// ClauseSelectivity estimates the fraction of tuples satisfying a
+// disjunction of comparisons, assuming independence of the alternatives:
+// 1 − Π(1 − sel(cᵢ)). An empty disjunction is false.
+func (e *Estimator) ClauseSelectivity(clause []algebra.Cmp, effRows map[string]float64) float64 {
+	if len(clause) == 0 {
+		return 0
+	}
+	miss := 1.0
+	for _, c := range clause {
+		miss *= 1 - e.Selectivity(c, effRows)
+	}
+	return math.Min(1, math.Max(0, 1-miss))
 }
 
 // JoinRows estimates |σ_preds(T1 × … × Tk)| where each Ti holds
@@ -200,7 +231,8 @@ func (e *Estimator) GroupCount(groupBy []string, inputRows float64, effRows map[
 	groups := 1.0
 	for _, g := range groupBy {
 		d := e.Distinct(g, effRows)
-		if d == math.MaxFloat64 {
+		if d == math.MaxFloat64 || math.IsInf(d, 0) || math.IsNaN(d) {
+			// Computed column: all-distinct within the producing result.
 			d = inputRows
 		}
 		groups *= d

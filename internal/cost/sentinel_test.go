@@ -1,0 +1,81 @@
+package cost
+
+// Regression tests for the computed-column Distinct sentinel. Distinct
+// returns math.MaxFloat64 for columns whose relation is not in the catalog
+// (aggregate outputs joined as subexpression results). The sentinel used to
+// leak into selectivity products — 1/max(d_known, MaxFloat64) collapses a
+// join's selectivity to ~0, pricing any plan through such a join as free and
+// letting the optimizer pick it regardless of its true cost.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+func TestDistinctSentinelForComputedColumn(t *testing.T) {
+	e := NewEstimator(estCatalog())
+	if d := e.Distinct("agg.total_price", nil); d != math.MaxFloat64 {
+		t.Fatalf("computed column should report the sentinel, got %g", d)
+	}
+	if knownDistinct(math.MaxFloat64) {
+		t.Fatal("sentinel must not count as a usable distinct count")
+	}
+	if !knownDistinct(42) {
+		t.Fatal("ordinary distinct counts must count as usable")
+	}
+}
+
+// TestJoinOnAggregateOutputUsesKnownSide: an equi-join between an aggregate
+// output and a catalogued key must price as 1/distinct of the known side —
+// the sentinel must neither win max() (selectivity ~0) nor force the default.
+func TestJoinOnAggregateOutputUsesKnownSide(t *testing.T) {
+	e := NewEstimator(estCatalog())
+	sel := e.Selectivity(algebra.Eq("agg.c_custkey", "customer.c_custkey"), nil)
+	if math.Abs(sel-0.001) > 1e-9 {
+		t.Fatalf("computed⋈known join should use the known side's 1/1000, got %g", sel)
+	}
+	sel = e.Selectivity(algebra.Eq("customer.c_custkey", "agg.c_custkey"), nil)
+	if math.Abs(sel-0.001) > 1e-9 {
+		t.Fatalf("known⋈computed join (flipped) should match, got %g", sel)
+	}
+	// Both sides computed: no statistics at all, fall to the guessed default —
+	// crucially a finite, non-zero selectivity.
+	sel = e.Selectivity(algebra.Eq("agg.a", "agg2.b"), nil)
+	if sel != 0.1 {
+		t.Fatalf("computed⋈computed join should use the default, got %g", sel)
+	}
+}
+
+// TestConstPredicateOnComputedColumn: equality and inequality against a
+// literal on a computed column must use the guessed defaults rather than
+// 1/MaxFloat64 (≈0) and 1-1/MaxFloat64.
+func TestConstPredicateOnComputedColumn(t *testing.T) {
+	e := NewEstimator(estCatalog())
+	eq := e.Selectivity(algebra.CmpConst("agg.total", algebra.EQ, algebra.NewInt(7)), nil)
+	if eq != 0.05 {
+		t.Fatalf("EQ on computed column should use default 0.05, got %g", eq)
+	}
+	ne := e.Selectivity(algebra.CmpConst("agg.total", algebra.NE, algebra.NewInt(7)), nil)
+	if ne != 0.95 {
+		t.Fatalf("NE on computed column should use default 0.95, got %g", ne)
+	}
+}
+
+// TestJoinRowsFiniteWithComputedKey: end to end, a join whose key is an
+// aggregate output must produce a sane positive cardinality — the failure
+// mode was a subnormal near-zero product that made the plan free.
+func TestJoinRowsFiniteWithComputedKey(t *testing.T) {
+	e := NewEstimator(estCatalog())
+	rows := e.JoinRows(
+		[]string{"orders", "customer"}, nil,
+		[]algebra.Cmp{algebra.Eq("agg.c_custkey", "customer.c_custkey")})
+	if math.IsNaN(rows) || math.IsInf(rows, 0) {
+		t.Fatalf("cardinality must stay finite, got %g", rows)
+	}
+	// 10000 × 1000 × 1/1000 = 10000: the known side's distinct count governs.
+	if math.Abs(rows-10000) > 1 {
+		t.Fatalf("expected ~10000 rows via the known side, got %g", rows)
+	}
+}

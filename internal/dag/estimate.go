@@ -21,7 +21,13 @@ type Sizer struct {
 	Est *cost.Estimator
 	// Eff overrides base-relation cardinalities (absent tables fall back to
 	// catalog statistics).
-	Eff  map[string]float64
+	Eff map[string]float64
+	// Obs, when set, supplies observed cardinalities from the feedback store:
+	// consulted before the recursive estimate and taking precedence over it,
+	// so corrections propagate to every plan costed through this sizer. Base
+	// relation scans are never overridden — their effective row counts encode
+	// the update-propagation state, which observation must not erase.
+	Obs  func(e *Equiv) (float64, bool)
 	memo map[int]float64
 }
 
@@ -34,6 +40,12 @@ func NewSizer(est *cost.Estimator, eff map[string]float64) *Sizer {
 func (s *Sizer) Rows(e *Equiv) float64 {
 	if v, ok := s.memo[e.ID]; ok {
 		return v
+	}
+	if s.Obs != nil && len(e.Ops) > 0 && e.Ops[0].Kind != OpScan {
+		if v, ok := s.Obs(e); ok && v >= 0 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+			s.memo[e.ID] = v
+			return v
+		}
 	}
 	v := s.rows(e)
 	if v < 0 || math.IsNaN(v) {
@@ -56,11 +68,17 @@ func (s *Sizer) rows(e *Equiv) float64 {
 		for _, c := range op.Pred.Conjuncts {
 			r *= s.Est.Selectivity(c, s.Eff)
 		}
+		for _, cl := range op.Pred.Clauses {
+			r *= s.Est.ClauseSelectivity(cl, s.Eff)
+		}
 		return r
 	case OpJoin:
 		r := s.Rows(op.Children[0]) * s.Rows(op.Children[1])
 		for _, c := range op.Pred.Conjuncts {
 			r *= s.Est.Selectivity(c, s.Eff)
+		}
+		for _, cl := range op.Pred.Clauses {
+			r *= s.Est.ClauseSelectivity(cl, s.Eff)
 		}
 		return r
 	case OpProject:

@@ -14,9 +14,12 @@ import (
 // items, one join operation per way of splitting a subset in two. Local
 // predicates are applied at the leaves (pushed all the way down); every join
 // conjunct is applied at the lowest join where both of its sides meet.
+// Disjunctive clauses never drive the lattice: single-item clauses join the
+// item's local selection, cross-item clauses are applied in one selection on
+// top of the block (they cannot serve as join conditions).
 func (d *DAG) insertSPJ(n algebra.Node) *Equiv {
-	items, preds := d.collectBlock(n)
-	if len(items) == 1 && len(preds) == 0 {
+	items, preds, clauses := d.collectBlock(n)
+	if len(items) == 1 && len(preds) == 0 && len(clauses) == 0 {
 		return items[0]
 	}
 	for i := range items {
@@ -59,10 +62,39 @@ func (d *DAG) insertSPJ(n algebra.Node) *Equiv {
 		binds = append(binds, predBind{cmp: p, mask: mask})
 	}
 
+	// Classify clauses: a clause whose columns all come from one item is
+	// applied with that item's local predicates; anything wider waits for the
+	// top of the block.
+	localClauses := make([][][]algebra.Cmp, len(items))
+	var topClauses [][]algebra.Cmp
+	for _, cl := range clauses {
+		var mask uint
+		var cols []string
+		for _, c := range cl {
+			cols = c.Columns(cols)
+		}
+		for _, q := range cols {
+			i := itemOf(q)
+			if i < 0 {
+				panic(fmt.Sprintf("dag: predicate column %s matches no join input", q))
+			}
+			mask |= 1 << uint(i)
+		}
+		if bits.OnesCount(mask) <= 1 {
+			i := bits.TrailingZeros(mask)
+			if mask == 0 {
+				i = 0
+			}
+			localClauses[i] = append(localClauses[i], cl)
+			continue
+		}
+		topClauses = append(topClauses, cl)
+	}
+
 	// Leaf equivalence nodes: each item with its local predicates applied.
 	leaves := make([]*Equiv, len(items))
 	for i, it := range items {
-		leaves[i] = d.selectEquiv(algebra.Pred{Conjuncts: localPreds[i]}, it)
+		leaves[i] = d.selectEquiv(algebra.Pred{Conjuncts: localPreds[i], Clauses: localClauses[i]}, it)
 	}
 	seen := map[string]bool{}
 	for _, l := range leaves {
@@ -156,6 +188,9 @@ func (d *DAG) insertSPJ(n algebra.Node) *Equiv {
 	if root == nil {
 		panic("dag: join block root missing")
 	}
+	if len(topClauses) > 0 {
+		root = d.selectEquiv(algebra.Pred{Clauses: topClauses}, root)
+	}
 	return root
 }
 
@@ -234,22 +269,27 @@ func (d *DAG) subsetTables(mask uint, leaves []*Equiv) []string {
 }
 
 // collectBlock walks down through Select and Join nodes gathering the join
-// items (non-SPJ subtrees, inserted recursively) and all conjuncts.
-func (d *DAG) collectBlock(n algebra.Node) (items []*Equiv, preds []algebra.Cmp) {
+// items (non-SPJ subtrees, inserted recursively), all conjuncts, and all
+// disjunctive clauses.
+func (d *DAG) collectBlock(n algebra.Node) (items []*Equiv, preds []algebra.Cmp, clauses [][]algebra.Cmp) {
 	switch t := n.(type) {
 	case *algebra.Select:
 		preds = append(preds, t.Pred.Conjuncts...)
-		ci, cp := d.collectBlock(t.Input)
-		return append(items, ci...), append(preds, cp...)
+		clauses = append(clauses, t.Pred.Clauses...)
+		ci, cp, cc := d.collectBlock(t.Input)
+		return append(items, ci...), append(preds, cp...), append(clauses, cc...)
 	case *algebra.Join:
 		preds = append(preds, t.Pred.Conjuncts...)
-		li, lp := d.collectBlock(t.L)
-		ri, rp := d.collectBlock(t.R)
+		clauses = append(clauses, t.Pred.Clauses...)
+		li, lp, lc := d.collectBlock(t.L)
+		ri, rp, rc := d.collectBlock(t.R)
 		items = append(items, li...)
 		items = append(items, ri...)
 		preds = append(preds, lp...)
-		return items, append(preds, rp...)
+		preds = append(preds, rp...)
+		clauses = append(clauses, lc...)
+		return items, preds, append(clauses, rc...)
 	default:
-		return []*Equiv{d.insert(n)}, nil
+		return []*Equiv{d.insert(n)}, nil, nil
 	}
 }

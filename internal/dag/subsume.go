@@ -83,8 +83,13 @@ func (d *DAG) subsumeSelections() {
 }
 
 // predMinus returns fine's conjuncts not present in coarse, succeeding only
-// when coarse's conjuncts are a strict subset of fine's.
+// when coarse's conjuncts are a strict subset of fine's. Disjunctive clauses
+// carry no implication reasoning here: any clause on either side
+// conservatively fails the test.
 func predMinus(fine, coarse algebra.Pred) (algebra.Pred, bool) {
+	if fine.HasClauses() || coarse.HasClauses() {
+		return algebra.Pred{}, false
+	}
 	if len(coarse.Conjuncts) >= len(fine.Conjuncts) {
 		return algebra.Pred{}, false
 	}
@@ -117,6 +122,10 @@ func predMinus(fine, coarse algebra.Pred) (algebra.Pred, bool) {
 // per-conjunct range reasoning on (column op constant) comparisons: every
 // conjunct of coarse must be implied by some conjunct of fine.
 func impliedBy(fine, coarse algebra.Pred) bool {
+	// Conservative: clause-bearing predicates opt out of implication.
+	if fine.HasClauses() || coarse.HasClauses() {
+		return false
+	}
 	if len(coarse.Conjuncts) == 0 {
 		return true
 	}

@@ -57,11 +57,40 @@ type Engine struct {
 	finalRows []float64
 }
 
+// Corrections supplies observed cardinalities that take precedence over the
+// histogram-based estimates when pricing plans. internal/feedback.Store
+// satisfies it; the interface lives here so the diff layer stays free of a
+// feedback dependency.
+type Corrections interface {
+	// FullRows returns the observed full-result cardinality for a canonical
+	// DAG key.
+	FullRows(key string) (float64, bool)
+	// DeltaRows returns the observed differential cardinality for a
+	// canonical DAG key under an update of the given table and sign.
+	DeltaRows(key, table string, insert bool) (float64, bool)
+}
+
 // NewEngine precomputes the per-state sizers. Every sizer memo and the
 // ancestor cache are fully prewarmed here: after construction the engine is
 // immutable, which is what lets the greedy heuristic evaluate candidate
 // benefits concurrently against a shared engine.
 func NewEngine(d *dag.DAG, model *cost.Model, u *UpdateSpec) *Engine {
+	return NewEngineObserved(d, model, u, nil)
+}
+
+// NewEngineObserved is NewEngine with a feedback correction layer: every full
+// state sizer consults corr.FullRows and every delta sizer corr.DeltaRows
+// before falling back to the histogram estimate. Corrections are frozen into
+// the sizer memos during prewarming, so the engine stays immutable (and the
+// greedy heuristic concurrency-safe) even while the store keeps absorbing
+// observations. A nil corr is exactly NewEngine — estimates byte-identical
+// to the static path.
+//
+// Observed full cardinalities are applied to all 2n+1 prefix states: the
+// states differ only by the in-flight update deltas, which are small against
+// the base, and one honest observed count beats 2n+1 slightly-different
+// wrong estimates.
+func NewEngineObserved(d *dag.DAG, model *cost.Model, u *UpdateSpec, corr Corrections) *Engine {
 	opt := volcano.New(d, model)
 	en := &Engine{
 		D: d, Model: model, Opt: opt, U: u,
@@ -69,13 +98,26 @@ func NewEngine(d *dag.DAG, model *cost.Model, u *UpdateSpec) *Engine {
 		szDelta:  make([]*dag.Sizer, u.N()+1),
 		ancCache: make(map[int][]int),
 	}
+	var obsFull func(e *dag.Equiv) (float64, bool)
+	if corr != nil {
+		obsFull = func(e *dag.Equiv) (float64, bool) { return corr.FullRows(e.Key) }
+	}
 	for k := 0; k <= u.N(); k++ {
-		en.szState[k] = dag.NewSizer(opt.Est, u.StateRows(d.Cat, k))
+		sz := dag.NewSizer(opt.Est, u.StateRows(d.Cat, k))
+		sz.Obs = obsFull
+		en.szState[k] = sz
 	}
 	for i := 1; i <= u.N(); i++ {
 		eff := u.StateRows(d.Cat, i-1)
 		eff[u.Table(i)] = u.Rows(i)
-		en.szDelta[i] = dag.NewSizer(opt.Est, eff)
+		sz := dag.NewSizer(opt.Est, eff)
+		if corr != nil {
+			table, insert := u.Table(i), u.IsInsert(i)
+			sz.Obs = func(e *dag.Equiv) (float64, bool) {
+				return corr.DeltaRows(e.Key, table, insert)
+			}
+		}
+		en.szDelta[i] = sz
 	}
 	en.finalRows = make([]float64, len(d.Equivs))
 	final := en.FinalState()

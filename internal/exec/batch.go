@@ -33,24 +33,50 @@ import (
 // ---------------------------------------------------------------------------
 // Selection: predicate → selection bitmap over column vectors.
 
-// batchSelBitmap evaluates a conjunctive predicate into a selection bitmap.
-// The first conjunct fills the bitmap with a dense typed loop; later
-// conjuncts compose by clearing set bits (selection-vector composition).
-// Large inputs evaluate morsel-parallel over word-aligned row ranges, so no
-// two workers touch a bitmap word.
+// batchSelBitmap evaluates a CNF predicate into a selection bitmap. The
+// first conjunct fills the bitmap with a dense typed loop; later conjuncts
+// compose by clearing set bits (selection-vector composition). Disjunctive
+// clauses evaluate in one vectorized pass each: every alternative runs its
+// dense fill loop into a shared scratch bitmap — fill mode only ever sets
+// bits, so alternatives OR together for free — and the clause verdict is
+// ANDed into the main bitmap word-wise. No clause ever falls back to
+// per-surviving-row predicate evaluation. Large inputs evaluate
+// morsel-parallel over word-aligned row ranges, so no two workers touch a
+// bitmap word (the scratch bitmap is word-disjoint between workers too).
 func batchSelBitmap(in *storage.Relation, pred algebra.Pred, par storage.Par) *Bitmap {
 	n := in.Len()
 	bm := NewBitmap(n)
-	cmps := pred.Bind(in.Schema()).Cmps()
-	if len(cmps) == 0 {
+	bp := pred.Bind(in.Schema())
+	cmps := bp.Cmps()
+	clauses := bp.Clauses()
+	if len(cmps) == 0 && len(clauses) == 0 {
 		bm.SetAll()
 		return bm
 	}
 	cv := in.ColView()
 	rows := in.Rows()
+	var scratch *Bitmap
+	if len(clauses) > 0 {
+		scratch = NewBitmap(n)
+	}
 	eval := func(lo, hi int) {
 		for ci := range cmps {
 			applyCmpRange(bm, ci == 0, cmps[ci], cv, rows, lo, hi)
+		}
+		filled := len(cmps) > 0
+		for _, cl := range clauses {
+			scratch.ZeroWords(lo, hi)
+			for _, c := range cl {
+				// Fill mode for every alternative: set-only writes compose
+				// the disjunction in the scratch bitmap.
+				applyCmpRange(scratch, true, c, cv, rows, lo, hi)
+			}
+			if filled {
+				bm.AndWords(scratch, lo, hi)
+			} else {
+				bm.CopyWords(scratch, lo, hi)
+				filled = true
+			}
 		}
 	}
 	par = par.Norm()
@@ -529,16 +555,23 @@ type twoCmp struct {
 	lv, rv         algebra.Value
 }
 
-// compileResidual binds the residual conjuncts against the l++r layout and
-// splits each side reference to its source tuple, so evaluation never
-// materializes the concatenated row. Semantics equal the row engine's
+// residualPred is a compiled residual predicate over (build, probe) tuple
+// pairs: conjuncts plus disjunctive clauses, mirroring BoundPred in two-sided
+// form.
+type residualPred struct {
+	cs      []twoCmp
+	clauses [][]twoCmp
+}
+
+// compileResidual binds the residual conjuncts and clauses against the l++r
+// layout and splits each side reference to its source tuple, so evaluation
+// never materializes the concatenated row. Semantics equal the row engine's
 // res.Eval(l++r) by construction (same Bind, same Value.Compare).
-func compileResidual(residual []algebra.Cmp, outSchema algebra.Schema, lWidth int, buildIsLeft bool) []twoCmp {
-	if len(residual) == 0 {
+func compileResidual(residual []algebra.Cmp, clauses [][]algebra.Cmp, outSchema algebra.Schema, lWidth int, buildIsLeft bool) *residualPred {
+	if len(residual) == 0 && len(clauses) == 0 {
 		return nil
 	}
-	cmps := algebra.Pred{Conjuncts: residual}.Bind(outSchema).Cmps()
-	out := make([]twoCmp, len(cmps))
+	bp := algebra.Pred{Conjuncts: residual, Clauses: clauses}.Bind(outSchema)
 	side := func(idx int) (bool, int) {
 		if idx < 0 {
 			return false, -1
@@ -549,34 +582,60 @@ func compileResidual(residual []algebra.Cmp, outSchema algebra.Schema, lWidth in
 		}
 		return fromLeft == buildIsLeft, idx
 	}
-	for i, c := range cmps {
-		tc := twoCmp{op: c.Op, lv: c.LVal, rv: c.RVal}
-		tc.lBuild, tc.li = side(c.LIdx)
-		tc.rBuild, tc.ri = side(c.RIdx)
-		out[i] = tc
+	compile := func(cs []algebra.BoundCmp) []twoCmp {
+		out := make([]twoCmp, len(cs))
+		for i, c := range cs {
+			tc := twoCmp{op: c.Op, lv: c.LVal, rv: c.RVal}
+			tc.lBuild, tc.li = side(c.LIdx)
+			tc.rBuild, tc.ri = side(c.RIdx)
+			out[i] = tc
+		}
+		return out
 	}
-	return out
+	rp := &residualPred{cs: compile(bp.Cmps())}
+	for _, cl := range bp.Clauses() {
+		rp.clauses = append(rp.clauses, compile(cl))
+	}
+	return rp
 }
 
-// evalResidual evaluates the two-sided residual conjunction.
-func evalResidual(cs []twoCmp, bt, pt algebra.Tuple) bool {
-	for _, c := range cs {
-		l, r := c.lv, c.rv
-		if c.li >= 0 {
-			if c.lBuild {
-				l = bt[c.li]
-			} else {
-				l = pt[c.li]
+// eval evaluates one two-sided comparison.
+func (c twoCmp) eval(bt, pt algebra.Tuple) bool {
+	l, r := c.lv, c.rv
+	if c.li >= 0 {
+		if c.lBuild {
+			l = bt[c.li]
+		} else {
+			l = pt[c.li]
+		}
+	}
+	if c.ri >= 0 {
+		if c.rBuild {
+			r = bt[c.ri]
+		} else {
+			r = pt[c.ri]
+		}
+	}
+	return opOK(c.op, l.Compare(r))
+}
+
+// eval evaluates the two-sided residual: every conjunct and at least one
+// alternative of every clause.
+func (rp *residualPred) eval(bt, pt algebra.Tuple) bool {
+	for _, c := range rp.cs {
+		if !c.eval(bt, pt) {
+			return false
+		}
+	}
+	for _, cl := range rp.clauses {
+		any := false
+		for _, c := range cl {
+			if c.eval(bt, pt) {
+				any = true
+				break
 			}
 		}
-		if c.ri >= 0 {
-			if c.rBuild {
-				r = bt[c.ri]
-			} else {
-				r = pt[c.ri]
-			}
-		}
-		if !opOK(c.op, l.Compare(r)) {
+		if !any {
 			return false
 		}
 	}
@@ -605,7 +664,7 @@ func hashJoinB(l, r *storage.Relation, pred algebra.Pred, buildIsLeft bool, targ
 	}
 	bh := build.ColView().KeyHashes(bCols, par)
 	ph := probe.ColView().KeyHashes(pCols, par)
-	res := compileResidual(residual, outSchema, len(ls), buildIsLeft)
+	res := compileResidual(residual, pred.Clauses, outSchema, len(ls), buildIsLeft)
 	spec := joinGatherSpec(target, outSchema, len(ls), buildIsLeft)
 
 	bRows, pRows := build.Rows(), probe.Rows()
@@ -629,7 +688,7 @@ func hashJoinB(l, r *storage.Relation, pred algebra.Pred, buildIsLeft bool, targ
 				if !algebra.EqualOn(pt, pCols, bt, bCols) {
 					continue // hash collision across distinct keys
 				}
-				if res != nil && !evalResidual(res, bt, pt) {
+				if res != nil && !res.eval(bt, pt) {
 					continue
 				}
 				row := arena.alloc(width)

@@ -76,6 +76,48 @@ func TestProjectEquivalence(t *testing.T) {
 	}
 }
 
+// randClause builds one disjunctive clause of 2–3 alternatives over tb's
+// columns (column-vs-literal and column-vs-column comparisons, tricky
+// literals included).
+func randClause(rng *rand.Rand, tb Table) []algebra.Cmp {
+	ops := []algebra.CmpOp{algebra.EQ, algebra.NE, algebra.LT, algebra.LE, algebra.GT, algebra.GE}
+	n := 2 + rng.Intn(2)
+	cl := make([]algebra.Cmp, 0, n)
+	for k := 0; k < n; k++ {
+		op := ops[rng.Intn(len(ops))]
+		ci := rng.Intn(len(tb.Cols))
+		if rng.Intn(3) == 0 {
+			cj := rng.Intn(len(tb.Cols))
+			cl = append(cl, algebra.Cmp{Op: op, L: algebra.C(tb.QCol(ci)), R: algebra.C(tb.QCol(cj))})
+			continue
+		}
+		cl = append(cl, algebra.CmpConst(tb.QCol(ci), op, RandValue(rng, tb.Cols[ci].Type, true)))
+	}
+	return cl
+}
+
+// TestFilterDisjunctionEquivalence: OR-of-comparisons selections — clauses
+// alone and clauses ANDed with conjuncts — must agree bit-for-bit between
+// the row oracle and the vectorized batch engine (which evaluates every
+// clause in a single dense pass through a scratch bitmap, never falling back
+// to per-row evaluation).
+func TestFilterDisjunctionEquivalence(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(2100 + trial)))
+		cat, db := catalog.New(), storage.NewDatabase()
+		tb := RandTable(rng, cat, db, "r1", 3+rng.Intn(3), 48+rng.Intn(200), true)
+		pred := algebra.Pred{Clauses: [][]algebra.Cmp{randClause(rng, tb)}}
+		if rng.Intn(2) == 0 { // AND a second clause (CNF of two disjunctions)
+			pred.Clauses = append(pred.Clauses, randClause(rng, tb))
+		}
+		if rng.Intn(2) == 0 { // AND plain conjuncts in front
+			pred.Conjuncts = RandPred(rng, tb).Conjuncts
+		}
+		node := algebra.NewSelect(pred, algebra.NewScan(cat, "r1"))
+		checkNode(t, trial, cat, db, node, false)
+	}
+}
+
 func TestHashJoinEquivalence(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		rng := rand.New(rand.NewSource(int64(500 + trial)))
@@ -97,6 +139,46 @@ func TestHashJoinEquivalence(t *testing.T) {
 		}
 		node := algebra.NewJoin(algebra.Pred{Conjuncts: conj},
 			algebra.NewScan(cat, "r1"), algebra.NewScan(cat, "r2"))
+		checkNode(t, trial, cat, db, node, false)
+	}
+}
+
+// TestHashJoinDisjunctiveResidualEquivalence: an equi-join whose residual
+// carries an OR-of-comparisons clause spanning both sides — the batch
+// engine's two-sided residual compiler must apply clause semantics (any
+// alternative passes), identically to the row oracle's Eval over the
+// concatenated row.
+func TestHashJoinDisjunctiveResidualEquivalence(t *testing.T) {
+	ops := []algebra.CmpOp{algebra.NE, algebra.LT, algebra.LE, algebra.GT, algebra.GE}
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(2300 + trial)))
+		cat, db := catalog.New(), storage.NewDatabase()
+		t1 := RandTable(rng, cat, db, "r1", 2+rng.Intn(3), 48+rng.Intn(150), true)
+		t2 := RandTable(rng, cat, db, "r2", 2+rng.Intn(3), 48+rng.Intn(150), true)
+		cl := make([]algebra.Cmp, 0, 3)
+		for k := 0; k < 2+rng.Intn(2); k++ {
+			switch rng.Intn(3) {
+			case 0: // cross-side alternative
+				cl = append(cl, algebra.Cmp{
+					Op: ops[rng.Intn(len(ops))],
+					L:  algebra.C(t1.QCol(rng.Intn(len(t1.Cols)))),
+					R:  algebra.C(t2.QCol(rng.Intn(len(t2.Cols)))),
+				})
+			case 1: // build-side literal alternative
+				ci := rng.Intn(len(t1.Cols))
+				cl = append(cl, algebra.CmpConst(t1.QCol(ci),
+					ops[rng.Intn(len(ops))], RandValue(rng, t1.Cols[ci].Type, true)))
+			default: // probe-side literal alternative
+				ci := rng.Intn(len(t2.Cols))
+				cl = append(cl, algebra.CmpConst(t2.QCol(ci),
+					ops[rng.Intn(len(ops))], RandValue(rng, t2.Cols[ci].Type, true)))
+			}
+		}
+		pred := algebra.Pred{
+			Conjuncts: []algebra.Cmp{algebra.Eq(t1.QCol(0), t2.QCol(0))},
+			Clauses:   [][]algebra.Cmp{cl},
+		}
+		node := algebra.NewJoin(pred, algebra.NewScan(cat, "r1"), algebra.NewScan(cat, "r2"))
 		checkNode(t, trial, cat, db, node, false)
 	}
 }

@@ -47,6 +47,15 @@ type Maintainer struct {
 	// fixed for the Maintainer's lifetime, so one traversal per consumer
 	// covers every step of every refresh cycle.
 	descCache map[int]map[int]bool
+
+	// ObsDelta, when non-nil, receives every differential result computed
+	// during a refresh step: the node, the updated table and sign, the diff
+	// optimizer's row estimate and the actual row count. ObsFull receives,
+	// once per Refresh, the post-refresh full cardinality of every maintained
+	// (non-table) result against the engine's final-state estimate. The
+	// feedback store hangs off both.
+	ObsDelta func(e *dag.Equiv, table string, insert bool, est, act float64)
+	ObsFull  func(e *dag.Equiv, est, act float64)
 }
 
 // descendants returns (computing once) the descendant ID set of a node.
@@ -170,6 +179,15 @@ func (mt *Maintainer) Refresh() {
 	for i := 1; i <= u.N(); i++ {
 		mt.refreshOne(i)
 	}
+	if mt.ObsFull != nil {
+		for _, id := range sortedIDs(mt.Ex.Mat) {
+			e := mt.En.D.Equivs[id]
+			if e.IsTable {
+				continue
+			}
+			mt.ObsFull(e, mt.En.FinalRows(e), float64(mt.Ex.Mat[id].Len()))
+		}
+	}
 }
 
 // pendingMerge is one maintained result's phase-3 action for the step.
@@ -224,6 +242,17 @@ func (mt *Maintainer) refreshOne(i int) {
 
 	// Phase 1: execute the task graph. All inputs are pre-update state.
 	sr.run(mt.Workers)
+
+	// Every computed differential is a (estimate, actual) pair for the
+	// feedback store — including shared intermediates, which later steps and
+	// adaptation rounds re-estimate through the same delta sizers.
+	if mt.ObsDelta != nil {
+		insert := u.IsInsert(i)
+		for _, t := range sr.order {
+			res := t.result()
+			mt.ObsDelta(t.plan.E, T, insert, t.plan.Rows, float64(res.Len()))
+		}
+	}
 
 	// Phase 2: fold the delta into the base relation. In snapshot mode the
 	// base gets a fresh copy-on-write version and any materialization-map

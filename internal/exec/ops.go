@@ -138,10 +138,10 @@ func hashJoin(l, r *storage.Relation, pred algebra.Pred) *storage.Relation {
 	outSchema := ls.Concat(rs)
 	out := storage.NewRelation(outSchema)
 	lCols, rCols, residual := splitJoinPred(pred, ls, rs)
-	hasResidual := len(residual) > 0
+	hasResidual := len(residual) > 0 || pred.HasClauses()
 	var res algebra.BoundPred
 	if hasResidual {
-		res = algebra.Pred{Conjuncts: residual}.Bind(outSchema)
+		res = algebra.Pred{Conjuncts: residual, Clauses: pred.Clauses}.Bind(outSchema)
 	}
 
 	var arena tupleArena

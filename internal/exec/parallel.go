@@ -170,10 +170,10 @@ func hashJoinP(l, r *storage.Relation, pred algebra.Pred, par storage.Par) *stor
 	ls, rs := l.Schema(), r.Schema()
 	outSchema := ls.Concat(rs)
 	lCols, rCols, residual := splitJoinPred(pred, ls, rs)
-	hasResidual := len(residual) > 0
+	hasResidual := len(residual) > 0 || pred.HasClauses()
 	var res algebra.BoundPred
 	if hasResidual {
-		res = algebra.Pred{Conjuncts: residual}.Bind(outSchema)
+		res = algebra.Pred{Conjuncts: residual, Clauses: pred.Clauses}.Bind(outSchema)
 	}
 	if len(lCols) == 0 {
 		return nestedLoopP(l, r, res, hasResidual, outSchema, par)
@@ -196,10 +196,10 @@ func hashJoinPlanned(l, r *storage.Relation, pred algebra.Pred, buildIsLeft bool
 	ls, rs := l.Schema(), r.Schema()
 	outSchema := ls.Concat(rs)
 	lCols, rCols, residual := splitJoinPred(pred, ls, rs)
-	hasResidual := len(residual) > 0
+	hasResidual := len(residual) > 0 || pred.HasClauses()
 	var res algebra.BoundPred
 	if hasResidual {
-		res = algebra.Pred{Conjuncts: residual}.Bind(outSchema)
+		res = algebra.Pred{Conjuncts: residual, Clauses: pred.Clauses}.Bind(outSchema)
 	}
 	if len(lCols) == 0 {
 		// Nested loops are orientation-free: the outer side is always l.

@@ -26,6 +26,12 @@ type Executor struct {
 	// derived sizers of the diff engine); materialization uses it to
 	// pre-size aggregation state instead of growing from empty.
 	Sizer func(e *dag.Equiv) float64
+	// Obs, when non-nil, receives every operator output this executor
+	// produces: the node, the optimizer's row estimate for it (PlanNode.Rows)
+	// and the actual row count. The feedback store hangs off this hook to
+	// accumulate observed cardinalities and estimation error; nil costs one
+	// branch per operator.
+	Obs func(e *dag.Equiv, est, act float64)
 }
 
 // NewExecutor wraps a database.
@@ -39,8 +45,18 @@ func NewExecutor(db *storage.Database) *Executor {
 }
 
 // Run executes a full-result plan and returns the result in the plan
-// equivalence node's schema.
+// equivalence node's schema. With Obs set, every node's actual output
+// cardinality is reported against the plan's estimate — including Reuse
+// reads, whose stored length is the node's true full cardinality.
 func (ex *Executor) Run(p *volcano.PlanNode) *storage.Relation {
+	out := ex.runNode(p)
+	if ex.Obs != nil {
+		ex.Obs(p.E, p.Rows, float64(out.Len()))
+	}
+	return out
+}
+
+func (ex *Executor) runNode(p *volcano.PlanNode) *storage.Relation {
 	switch p.Access {
 	case volcano.Reuse:
 		r := ex.Mat[p.E.ID]

@@ -1,0 +1,175 @@
+package shard
+
+// Regression tests for the scatter-path rehash bug: join stages used to call
+// HashCols on every probe row of every request, rehashing the same immutable
+// staged leaf rows for every query at an epoch. The fix caches per-leaf key
+// hashes on the staged state and threads leaf-row identity through filter
+// and projection stages, so the hot path (repeated scatters against one
+// staged epoch) performs no per-row hashing after the first request.
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+// hashWorker stages one epoch of a two-column relation (key, val) on a fresh
+// single-shard worker and returns it with the staged row count.
+func hashWorker(t *testing.T, epoch int64, n int) (*Worker, int) {
+	t.Helper()
+	a := Assignment{Partitions: 4, Shards: 1}.Norm()
+	w, err := NewWorker(0, a, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Slice{}
+	for i := 0; i < n; i++ {
+		s.Rows = append(s.Rows, algebra.Tuple{algebra.NewInt(int64(i % 7)), algebra.NewInt(int64(i))})
+		s.Idx = append(s.Idx, int32(i))
+	}
+	if err := w.Stage(&StageReq{Epoch: epoch, From: -1, Base: true,
+		Rels: map[string]Slice{"t": s}, Mats: map[int32]Slice{}}); err != nil {
+		t.Fatal(err)
+	}
+	return w, n
+}
+
+// joinReq builds a filter → project → join pipeline whose probe key passes
+// through both a filter (row subset) and a projection (column remap), so the
+// cache is only usable if leaf identity is tracked across every stage kind.
+func joinReq(epoch int64) *ScatterReq {
+	build := []algebra.Tuple{
+		{algebra.NewInt(1), algebra.NewString("a")},
+		{algebra.NewInt(3), algebra.NewString("b")},
+		{algebra.NewInt(5), algebra.NewString("c")},
+	}
+	return &ScatterReq{Epoch: epoch, Leaf: LeafRef{Rel: "t"}, Stages: []Stage{
+		{Kind: StageFilter, Pred: []algebra.BoundCmp{
+			{Op: algebra.LT, LIdx: 1, RIdx: -1, RVal: algebra.NewInt(150)},
+		}},
+		{Kind: StageProject, Cols: []int{1, 0}}, // key moves to column 1
+		{Kind: StageJoin, BCols: []int{0}, PCols: []int{1}, Build: build},
+	}}
+}
+
+// TestScatterReusesCachedHashes: the first join over a staged leaf builds the
+// hash cache once (one pass over the leaf, no per-probe-row hashing), and
+// every subsequent scatter at that epoch reuses it — both counters stay flat
+// while answers stay identical.
+func TestScatterReusesCachedHashes(t *testing.T) {
+	w, n := hashWorker(t, 1, 200)
+	req := joinReq(1)
+
+	first, err := w.Scatter(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Rows) == 0 {
+		t.Fatal("join produced no rows; test is vacuous")
+	}
+	probed, built := w.HashStats()
+	if probed != 0 {
+		t.Fatalf("cold scatter hashed %d probe rows per-row; want 0 (cache pass instead)", probed)
+	}
+	if built != int64(n) {
+		t.Fatalf("cold scatter built cache over %d rows, want %d", built, n)
+	}
+
+	for i := 0; i < 5; i++ {
+		got, err := w.Scatter(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Rows) != len(first.Rows) {
+			t.Fatalf("warm scatter %d: %d rows, want %d", i, len(got.Rows), len(first.Rows))
+		}
+		for r, tu := range first.Rows {
+			if !tu.Equal(got.Rows[r]) || first.Ord[r] != got.Ord[r] {
+				t.Fatalf("warm scatter %d: row %d differs: %v/%d vs %v/%d",
+					i, r, got.Rows[r], got.Ord[r], tu, first.Ord[r])
+			}
+		}
+	}
+	probed, built = w.HashStats()
+	if probed != 0 || built != int64(n) {
+		t.Fatalf("warm scatters re-hashed: probeHashed %d (want 0), cacheBuilt %d (want %d)",
+			probed, built, n)
+	}
+}
+
+// TestScatterHashCachePerKeyAndEpoch: a different probe-key column set pays
+// one more cache pass, and a newly staged epoch (fresh immutable state)
+// rebuilds; neither ever hashes probe rows one at a time.
+func TestScatterHashCachePerKeyAndEpoch(t *testing.T) {
+	w, n := hashWorker(t, 1, 100)
+	if _, err := w.Scatter(joinReq(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same epoch, different key columns: one more build pass, cached after.
+	other := &ScatterReq{Epoch: 1, Leaf: LeafRef{Rel: "t"}, Stages: []Stage{
+		{Kind: StageJoin, BCols: []int{0}, PCols: []int{1},
+			Build: []algebra.Tuple{{algebra.NewInt(17)}}},
+	}}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Scatter(other); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probed, built := w.HashStats()
+	if probed != 0 || built != int64(2*n) {
+		t.Fatalf("after second key set: probeHashed %d (want 0), cacheBuilt %d (want %d)",
+			probed, built, 2*n)
+	}
+
+	// A new epoch stages a fresh state: its cache starts cold and rebuilds
+	// exactly once.
+	s := Slice{}
+	for i := 0; i < n; i++ {
+		s.Rows = append(s.Rows, algebra.Tuple{algebra.NewInt(int64(i % 5)), algebra.NewInt(int64(i))})
+		s.Idx = append(s.Idx, int32(i))
+	}
+	if err := w.Stage(&StageReq{Epoch: 2, From: 1,
+		Rels: map[string]Slice{"t": s}, Mats: map[int32]Slice{}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Scatter(joinReq(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probed, built = w.HashStats()
+	if probed != 0 || built != int64(3*n) {
+		t.Fatalf("after restage: probeHashed %d (want 0), cacheBuilt %d (want %d)",
+			probed, built, 3*n)
+	}
+}
+
+// TestScatterSecondJoinHashesComposites: a join's outputs are composite rows
+// with no single leaf identity, so a second join correctly falls back to
+// per-row hashing — the counter proves the fallback (not the cache) ran, and
+// the cache is never consulted with stale positions.
+func TestScatterSecondJoinHashesComposites(t *testing.T) {
+	w, n := hashWorker(t, 1, 50)
+	build := []algebra.Tuple{{algebra.NewInt(2)}, {algebra.NewInt(4)}}
+	req := &ScatterReq{Epoch: 1, Leaf: LeafRef{Rel: "t"}, Stages: []Stage{
+		{Kind: StageJoin, BCols: []int{0}, PCols: []int{0}, Build: build},
+		{Kind: StageJoin, BCols: []int{0}, PCols: []int{1}, Build: build},
+	}}
+	p, err := w.Scatter(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed, built := w.HashStats()
+	if built != int64(n) {
+		t.Fatalf("first join built cache over %d rows, want %d", built, n)
+	}
+	// The second join probes the first join's outputs row-at-a-time; every
+	// surviving composite row is hashed exactly once per request.
+	if probed == 0 {
+		t.Fatal("second join hashed nothing; expected per-row fallback on composite rows")
+	}
+	if len(p.Rows) == 0 {
+		t.Fatal("pipeline produced no rows; test is vacuous")
+	}
+}

@@ -164,6 +164,12 @@ func lowerNode(p *volcano.PlanNode, env LowerEnv) (leaf LeafRef, stages []Stage,
 		return ref, stages, p.E.Schema, true
 
 	case dag.OpSelect:
+		if op.Pred.HasClauses() {
+			// The wire format carries flat conjunct lists only; vetoing keeps
+			// disjunctions on the (correctness-equivalent) local fallback
+			// rather than silently dropping clauses.
+			return LeafRef{}, nil, nil, false
+		}
 		leaf, stages, cur, ok = lowerNode(p.Children[0], env)
 		if !ok {
 			return LeafRef{}, nil, nil, false
@@ -182,6 +188,9 @@ func lowerNode(p *volcano.PlanNode, env LowerEnv) (leaf LeafRef, stages []Stage,
 		return leaf, stages, p.E.Schema, true
 
 	case dag.OpJoin:
+		if op.Pred.HasClauses() {
+			return LeafRef{}, nil, nil, false // see OpSelect
+		}
 		lSchema := p.Children[0].E.Schema
 		rSchema := p.Children[1].E.Schema
 		outSchema := lSchema.Concat(rSchema)

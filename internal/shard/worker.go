@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/wal"
@@ -26,10 +27,55 @@ const stageLogName = "stage.log"
 
 // state is one staged epoch's image of the shard's slices. States are
 // immutable once entered into the window: applying a delta builds fresh maps
-// (sharing unchanged Slice values), so scatters read them without locks.
+// (sharing unchanged Slice values), so scatters read them without locks. The
+// hash cache is the one mutable attachment: per-leaf key-column hashes built
+// lazily by the first join that probes them and reused — monotone and
+// guarded by hmu, so it never compromises the immutability the scatter path
+// relies on.
 type state struct {
 	rels map[string]Slice
 	mats map[int32]Slice
+
+	hmu    sync.Mutex
+	hcache map[hashKey][]uint64
+}
+
+// hashKey identifies one cached hash column set: the scatter leaf plus the
+// leaf-relative key columns, rendered as a canonical string.
+type hashKey struct {
+	mat  bool
+	id   int32
+	rel  string
+	cols string
+}
+
+// hashesFor returns the leaf's per-row hashes over cols, building them on
+// first use (one HashCols per leaf row per distinct key-column set per
+// epoch); built reports whether this call paid for the build. Returns nil
+// when any row is too narrow for cols — ragged slices are only reachable
+// from the wire, and the caller then falls back to the width-checked
+// per-row path.
+func (st *state) hashesFor(key hashKey, leaf Slice, cols []int) (hashes []uint64, built bool) {
+	st.hmu.Lock()
+	defer st.hmu.Unlock()
+	if h, ok := st.hcache[key]; ok {
+		return h, false
+	}
+	need := maxIdx(cols)
+	for _, t := range leaf.Rows {
+		if need >= len(t) {
+			return nil, false
+		}
+	}
+	h := make([]uint64, len(leaf.Rows))
+	for i, t := range leaf.Rows {
+		h[i] = t.HashCols(cols)
+	}
+	if st.hcache == nil {
+		st.hcache = make(map[hashKey][]uint64)
+	}
+	st.hcache[key] = h
+	return h, true
 }
 
 // Worker executes one shard. Methods are safe for concurrent use.
@@ -37,6 +83,10 @@ type Worker struct {
 	shard int
 	asg   Assignment
 	dir   string // "" disables durability (in-proc tests)
+
+	// Scatter hash instrumentation (see HashStats).
+	probeHashed atomic.Int64
+	cacheBuilt  atomic.Int64
 
 	mu        sync.Mutex
 	closed    bool
@@ -297,9 +347,14 @@ func (w *Worker) Scatter(req *ScatterReq) (*Partial, error) {
 		return nil, fmt.Errorf("shard %d: unknown scatter leaf %+v at epoch %d", w.shard, req.Leaf, req.Epoch)
 	}
 	rows, ord := leaf.Rows, leaf.Idx
+	pc := &probeCtx{w: w, st: st, leaf: leaf, ref: req.Leaf}
+	pc.pos = make([]int32, len(rows))
+	for i := range pc.pos {
+		pc.pos[i] = int32(i)
+	}
 	for si, stg := range req.Stages {
 		var err error
-		rows, ord, err = runStage(stg, rows, ord)
+		rows, ord, err = pc.runStage(stg, rows, ord)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: stage %d: %w", w.shard, si, err)
 		}
@@ -307,11 +362,56 @@ func (w *Worker) Scatter(req *ScatterReq) (*Partial, error) {
 	return &Partial{Epoch: req.Epoch, Rows: rows, Ord: ord}, nil
 }
 
+// HashStats reports the scatter-path hash instrumentation: probeHashed
+// counts probe rows hashed row-at-a-time inside a join stage (leaf identity
+// lost, or the cache was unusable); cacheBuilt counts leaf rows hashed once
+// while populating a staged state's key-hash cache. On the hot path —
+// repeated scatters against the same staged epoch — the first query pays one
+// cacheBuilt pass per (leaf, key-column) pair and every later query reuses
+// the cached hashes, leaving both counters flat.
+func (w *Worker) HashStats() (probeHashed, cacheBuilt int64) {
+	return w.probeHashed.Load(), w.cacheBuilt.Load()
+}
+
+// probeCtx threads scatter-leaf row identity through one pipeline so join
+// stages can reuse the state's cached key hashes instead of rehashing every
+// probe row on every request. pos[i] is the leaf-local position pipeline row
+// i derives from, and colMap maps pipeline columns back to leaf columns
+// (nil = identity): filters subset pos, projections compose colMap, and the
+// first join consumes the identity — its outputs are composite rows, so
+// later joins hash directly.
+type probeCtx struct {
+	w      *Worker
+	st     *state
+	leaf   Slice
+	ref    LeafRef
+	pos    []int32
+	colMap []int
+}
+
+// probeHashes resolves the cached leaf hashes for a join's probe columns,
+// or nil when the pipeline rows no longer mirror leaf rows.
+func (pc *probeCtx) probeHashes(pCols []int) []uint64 {
+	if pc.pos == nil {
+		return nil
+	}
+	mapped, ok := mapCols(pCols, pc.colMap)
+	if !ok {
+		return nil
+	}
+	key := hashKey{mat: pc.ref.Mat, id: pc.ref.ID, rel: pc.ref.Rel, cols: fmt.Sprint(mapped)}
+	h, built := pc.st.hashesFor(key, pc.leaf, mapped)
+	if built {
+		pc.w.cacheBuilt.Add(int64(len(pc.leaf.Rows)))
+	}
+	return h
+}
+
 // runStage evaluates one pipeline stage, carrying the scatter-leaf origin
 // index of every surviving row. The join replays the local broadcast join
 // exactly: buckets in build-row order, probe rows in pipeline order, so the
 // emission order within one probe row equals single-node execution.
-func runStage(stg Stage, rows []algebra.Tuple, ord []int32) ([]algebra.Tuple, []int32, error) {
+func (pc *probeCtx) runStage(stg Stage, rows []algebra.Tuple, ord []int32) ([]algebra.Tuple, []int32, error) {
 	switch stg.Kind {
 	case StageFilter:
 		if err := checkWidth(rows, maxCmpIdx(stg.Pred)); err != nil {
@@ -320,12 +420,20 @@ func runStage(stg Stage, rows []algebra.Tuple, ord []int32) ([]algebra.Tuple, []
 		bp := algebra.NewBoundPred(stg.Pred)
 		outR := make([]algebra.Tuple, 0, len(rows))
 		outO := make([]int32, 0, len(rows))
+		var outP []int32
+		if pc.pos != nil {
+			outP = make([]int32, 0, len(rows))
+		}
 		for i, t := range rows {
 			if bp.Eval(t) {
 				outR = append(outR, t)
 				outO = append(outO, ord[i])
+				if outP != nil {
+					outP = append(outP, pc.pos[i])
+				}
 			}
 		}
+		pc.pos = outP
 		return outR, outO, nil
 
 	case StageProject:
@@ -342,6 +450,11 @@ func runStage(stg Stage, rows []algebra.Tuple, ord []int32) ([]algebra.Tuple, []
 				nt[j] = t[c]
 			}
 			outR[i] = nt
+		}
+		if m, ok := mapCols(stg.Cols, pc.colMap); ok {
+			pc.colMap = m
+		} else {
+			pc.pos, pc.colMap = nil, nil
 		}
 		return outR, ord, nil
 
@@ -360,6 +473,7 @@ func runStage(stg Stage, rows []algebra.Tuple, ord []int32) ([]algebra.Tuple, []
 			h := bt.HashCols(stg.BCols)
 			buckets[h] = append(buckets[h], bt)
 		}
+		ph := pc.probeHashes(stg.PCols)
 		var res algebra.BoundPred
 		if stg.HasResidual {
 			res = algebra.NewBoundPred(stg.Residual)
@@ -367,8 +481,16 @@ func runStage(stg Stage, rows []algebra.Tuple, ord []int32) ([]algebra.Tuple, []
 		resMax := maxCmpIdx(stg.Residual)
 		outR := make([]algebra.Tuple, 0, len(rows))
 		outO := make([]int32, 0, len(rows))
+		missed := 0
 		for i, pt := range rows {
-			for _, bt := range buckets[pt.HashCols(stg.PCols)] {
+			var h uint64
+			if ph != nil {
+				h = ph[pc.pos[i]]
+			} else {
+				h = pt.HashCols(stg.PCols)
+				missed++
+			}
+			for _, bt := range buckets[h] {
 				if !algebra.EqualOn(pt, stg.PCols, bt, stg.BCols) {
 					continue
 				}
@@ -391,9 +513,31 @@ func runStage(stg Stage, rows []algebra.Tuple, ord []int32) ([]algebra.Tuple, []
 				outO = append(outO, ord[i])
 			}
 		}
+		if missed > 0 {
+			pc.w.probeHashed.Add(int64(missed))
+		}
+		pc.pos, pc.colMap = nil, nil
 		return outR, outO, nil
 	}
 	return nil, nil, fmt.Errorf("unknown stage kind %d", stg.Kind)
+}
+
+// mapCols maps pipeline-relative columns back to leaf columns through colMap
+// (nil = identity). Reports false when a column falls outside the map — only
+// reachable when the pipeline is empty of rows, where nothing would be
+// hashed anyway.
+func mapCols(cols []int, colMap []int) ([]int, bool) {
+	if colMap == nil {
+		return cols, true
+	}
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= len(colMap) {
+			return nil, false
+		}
+		out[i] = colMap[c]
+	}
+	return out, true
 }
 
 // maxIdx returns the largest index referenced (-1 for none).

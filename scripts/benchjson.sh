@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Bench JSON: machine-readable perf trajectory. Builds mvserve, runs the
+# feedback-driven costing experiment (skewed drifting workload, three runs:
+# static plan, adaptive with static estimates, adaptive with observed
+# cardinalities correcting every re-selection round) with the full check on,
+# and emits the summary as BENCH_9.json — q-error quartet per run,
+# improvement factor, adaptive-vs-static throughput, swap count, soundness
+# flag. mvserve exits non-zero if any run fails verification or consistency,
+# if no swap installs, or if the corrected run records no estimates, so CI
+# can use this as a smoke gate. The output path defaults to BENCH_9.json in
+# the repo root; pass a directory as $1 to write elsewhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-.}/BENCH_9.json"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+go build -o "$WORK" ./cmd/mvserve
+
+"$WORK/mvserve" -feedback -sf 0.002 -pct 8 -hot-frac 0.02 \
+  -readers 4 -cycles 5 -seed 11 -check -json "$OUT"
+
+# The emitted object must carry the keys the perf trajectory consumes.
+for key in q_median_static_estimates q_median_feedback \
+  q_p90_static_estimates q_p90_feedback q_error_improvement \
+  adaptive_vs_static_qps swaps_installed verified_and_consistent; do
+  grep -q "\"$key\"" "$OUT" || {
+    echo "FAIL: $OUT missing key $key" >&2
+    exit 1
+  }
+done
+
+echo "bench json OK: $OUT"

@@ -20,19 +20,27 @@ import (
 	"repro/internal/storage"
 )
 
-// benchEngines runs the body once per operator engine (vectorized batch and
-// row-at-a-time) as sub-benchmarks, flipping the process-wide default the
-// runtime constructors read. Allocations are reported so the engines'
-// row-vs-batch table in EXPERIMENTS.md carries both time and allocs/op.
+// benchEngines runs the body once per operator engine (chained columnar
+// pipelines, vectorized batch, and row-at-a-time) as sub-benchmarks, flipping
+// the process-wide default the runtime constructors read. Allocations are
+// reported so the engines' comparison table in EXPERIMENTS.md carries both
+// time and allocs/op.
 func benchEngines(b *testing.B, body func(b *testing.B)) {
 	for _, eng := range []struct {
-		name  string
-		batch bool
-	}{{"engine=batch", true}, {"engine=row", false}} {
+		name string
+		set  func()
+	}{
+		{"engine=chained", func() { storage.SetDefaultExecChain(true) }},
+		{"engine=batch", func() { storage.SetDefaultExecBatch(true) }},
+		{"engine=row", func() { storage.SetDefaultExecBatch(false) }},
+	} {
 		b.Run(eng.name, func(b *testing.B) {
-			prev := storage.DefaultExecBatch()
-			storage.SetDefaultExecBatch(eng.batch)
-			defer storage.SetDefaultExecBatch(prev)
+			prevBatch, prevChain := storage.DefaultExecBatch(), storage.DefaultExecChain()
+			defer func() {
+				storage.SetDefaultExecBatch(prevBatch)
+				storage.SetDefaultExecChain(prevChain)
+			}()
+			eng.set()
 			b.ReportAllocs()
 			body(b)
 		})

@@ -54,7 +54,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "data generator seed")
 	workers := flag.Int("workers", 0, "refresh worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	partitions := flag.Int("partitions", 1, "hash partitions per operator (<=1 = sequential operators)")
-	execMode := flag.String("exec", defaultExecMode(), "operator engine: batch (vectorized columnar) or row")
+	execMode := flag.String("exec", defaultExecMode(), "operator engine: chained (end-to-end columnar pipelines), batch (vectorized columnar) or row")
 	feedback := flag.Bool("feedback", false, "record observed cardinalities and report per-night estimation error (q-error)")
 	walDir := flag.String("wal-dir", "", "write-ahead log directory; enables the durable streaming path")
 	fsync := flag.Bool("fsync", false, "fsync group commits (with -wal-dir): durable against machine crashes")
@@ -64,12 +64,14 @@ func main() {
 	flag.Parse()
 
 	switch *execMode {
+	case "chained":
+		storage.SetDefaultExecChain(true)
 	case "batch":
 		storage.SetDefaultExecBatch(true)
 	case "row":
 		storage.SetDefaultExecBatch(false)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -exec mode %q (want batch or row)\n", *execMode)
+		fmt.Fprintf(os.Stderr, "unknown -exec mode %q (want chained, batch or row)\n", *execMode)
 		os.Exit(2)
 	}
 
@@ -246,7 +248,10 @@ func durableNights(plan *core.MaintenancePlan, db *storage.Database, cat *catalo
 // defaultExecMode renders the process default engine choice (MVOPT_EXEC, see
 // storage.DefaultExecBatch) as the -exec flag default.
 func defaultExecMode() string {
-	if storage.DefaultExecBatch() {
+	switch {
+	case storage.DefaultExecChain():
+		return "chained"
+	case storage.DefaultExecBatch():
 		return "batch"
 	}
 	return "row"

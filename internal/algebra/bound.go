@@ -14,35 +14,39 @@ type BoundPred struct {
 }
 
 // boundCmp is one compiled conjunct. A side is either a tuple index (idx >=
-// 0) or a literal (idx == -1).
+// 0), a literal (idx == -1), or a compiled arithmetic expression (la/ra
+// non-nil, which takes precedence over the index).
 type boundCmp struct {
 	op     CmpOp
 	li, ri int
 	lv, rv Value
+	la, ra *BoundArith
 }
 
 // Bind compiles the predicate against a schema. It panics if a referenced
 // column is missing, mirroring ColRef.Eval.
 func (p Pred) Bind(s Schema) BoundPred {
 	out := BoundPred{cs: make([]boundCmp, len(p.Conjuncts))}
-	side := func(e Expr) (int, Value) {
+	side := func(e Expr) (int, Value, *BoundArith) {
 		switch v := e.(type) {
 		case ColRef:
 			i := s.IndexOf(v.QName())
 			if i < 0 {
 				panic(fmt.Sprintf("algebra: column %s not in schema %s", v.QName(), s))
 			}
-			return i, Value{}
+			return i, Value{}, nil
 		case Const:
-			return -1, v.Val
+			return -1, v.Val, nil
+		case Arith:
+			return -1, Value{}, compileArithOperand(v, s)
 		default:
 			panic(fmt.Sprintf("algebra: cannot bind expression %T", e))
 		}
 	}
 	bind := func(c Cmp) boundCmp {
 		bc := boundCmp{op: c.Op}
-		bc.li, bc.lv = side(c.L)
-		bc.ri, bc.rv = side(c.R)
+		bc.li, bc.lv, bc.la = side(c.L)
+		bc.ri, bc.rv, bc.ra = side(c.R)
 		return bc
 	}
 	for i, c := range p.Conjuncts {
@@ -62,14 +66,18 @@ func (p Pred) Bind(s Schema) BoundPred {
 }
 
 // BoundCmp is the exported image of one compiled conjunct. A side is either
-// a tuple index (idx >= 0, the value field ignored) or a literal (idx == -1).
+// a tuple index (idx >= 0, the value field ignored), a literal (idx == -1),
+// or a compiled arithmetic tree (LArith/RArith non-nil, taking precedence).
 // The shard transport serializes bound predicates in this form so workers
 // evaluate exactly the predicate the coordinator compiled — re-binding on the
 // worker would need the schema, which the wire format deliberately omits.
+// The wire format does NOT carry the arith fields; the shard lowering vetoes
+// arithmetic predicates (Pred.HasArith) exactly as it vetoes clauses.
 type BoundCmp struct {
-	Op         CmpOp
-	LIdx, RIdx int
-	LVal, RVal Value
+	Op             CmpOp
+	LIdx, RIdx     int
+	LVal, RVal     Value
+	LArith, RArith *BoundArith
 }
 
 // HasClauses reports whether the bound predicate carries disjunctive
@@ -87,7 +95,8 @@ func (p BoundPred) Clauses() [][]BoundCmp {
 	for i, cl := range p.clauses {
 		ocl := make([]BoundCmp, len(cl))
 		for j, c := range cl {
-			ocl[j] = BoundCmp{Op: c.op, LIdx: c.li, RIdx: c.ri, LVal: c.lv, RVal: c.rv}
+			ocl[j] = BoundCmp{Op: c.op, LIdx: c.li, RIdx: c.ri, LVal: c.lv, RVal: c.rv,
+				LArith: c.la, RArith: c.ra}
 		}
 		out[i] = ocl
 	}
@@ -99,7 +108,8 @@ func (p BoundPred) Clauses() [][]BoundCmp {
 func (p BoundPred) Cmps() []BoundCmp {
 	out := make([]BoundCmp, len(p.cs))
 	for i, c := range p.cs {
-		out[i] = BoundCmp{Op: c.op, LIdx: c.li, RIdx: c.ri, LVal: c.lv, RVal: c.rv}
+		out[i] = BoundCmp{Op: c.op, LIdx: c.li, RIdx: c.ri, LVal: c.lv, RVal: c.rv,
+			LArith: c.la, RArith: c.ra}
 	}
 	return out
 }
@@ -108,9 +118,30 @@ func (p BoundPred) Cmps() []BoundCmp {
 // side). Eval is shared with predicates bound locally, so both sides of the
 // wire agree on comparison semantics by construction.
 func NewBoundPred(cs []BoundCmp) BoundPred {
+	return NewBoundPredCNF(cs, nil)
+}
+
+// NewBoundPredCNF reassembles a BoundPred from compiled conjuncts plus
+// disjunctive clauses — the full CNF round trip of Cmps/Clauses. The chained
+// executor uses it to re-evaluate an index-remapped compile.
+func NewBoundPredCNF(cs []BoundCmp, clauses [][]BoundCmp) BoundPred {
+	conv := func(c BoundCmp) boundCmp {
+		return boundCmp{op: c.Op, li: c.LIdx, ri: c.RIdx, lv: c.LVal, rv: c.RVal,
+			la: c.LArith, ra: c.RArith}
+	}
 	out := BoundPred{cs: make([]boundCmp, len(cs))}
 	for i, c := range cs {
-		out.cs[i] = boundCmp{op: c.Op, li: c.LIdx, ri: c.RIdx, lv: c.LVal, rv: c.RVal}
+		out.cs[i] = conv(c)
+	}
+	if len(clauses) > 0 {
+		out.clauses = make([][]boundCmp, len(clauses))
+		for i, cl := range clauses {
+			bcl := make([]boundCmp, len(cl))
+			for j, c := range cl {
+				bcl[j] = conv(c)
+			}
+			out.clauses[i] = bcl
+		}
 	}
 	return out
 }
@@ -118,10 +149,14 @@ func NewBoundPred(cs []BoundCmp) BoundPred {
 // evalCmp evaluates one compiled comparison against a tuple.
 func (c boundCmp) eval(t Tuple) bool {
 	l, r := c.lv, c.rv
-	if c.li >= 0 {
+	if c.la != nil {
+		l = NewFloat(c.la.EvalRow(t))
+	} else if c.li >= 0 {
 		l = t[c.li]
 	}
-	if c.ri >= 0 {
+	if c.ra != nil {
+		r = NewFloat(c.ra.EvalRow(t))
+	} else if c.ri >= 0 {
 		r = t[c.ri]
 	}
 	cmp := l.Compare(r)

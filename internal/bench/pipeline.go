@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+// PipelineComparison measures what the end-to-end columnar pipelines buy: the
+// same refresh and serving workloads run under each operator engine — chained
+// (batches flow across operator boundaries, rows gathered once at the sink),
+// batch (PR-9: vectorized operators that materialize rows at every
+// boundary), and row — with wall-clock, allocation volume, and byte-identity
+// of the maintained view rows compared across engines.
+
+// PipelineConfig parameterizes one engine-comparison run.
+type PipelineConfig struct {
+	// ScaleFactor and UpdatePct shape the TPC-D workload.
+	ScaleFactor, UpdatePct float64
+	// Cycles is the refresh cycles per engine (both legs).
+	Cycles int
+	// Readers is the concurrent query goroutine count of the serving leg.
+	Readers int
+	// Seed drives data generation and update batches; equal seeds give
+	// draw-for-draw identical runs under every engine.
+	Seed int64
+	// Check turns on the serving leg's snapshot consistency check.
+	Check bool
+}
+
+// PipelineEngineRun is one engine's measurements.
+type PipelineEngineRun struct {
+	Engine string
+	// RefreshPerCycle is the ten-view refresh wall-clock averaged over cycles.
+	RefreshPerCycle time.Duration
+	// BytesPerCycle is the heap allocation volume of one refresh cycle
+	// (runtime.MemStats TotalAlloc delta averaged over cycles).
+	BytesPerCycle uint64
+	// ServeQPS is the aggregate reader throughput of the serving leg.
+	ServeQPS float64
+	// Verified is the post-run exactness check of both legs.
+	Verified bool
+}
+
+// PipelineResult is the outcome of PipelineComparison. Engines[0] is chained,
+// [1] batch, [2] row.
+type PipelineResult struct {
+	Cfg     PipelineConfig
+	Engines []PipelineEngineRun
+	// Identical is true when every engine's maintained view rows were
+	// byte-identical to the first engine's (the engine-independence contract).
+	Identical bool
+}
+
+// pipelineEngines is the sweep order: the claim under test first, then its
+// baseline, then the reference.
+var pipelineEngines = []string{"chained", "batch", "row"}
+
+// setEngine flips the process-default operator engine.
+func setEngine(e string) {
+	switch e {
+	case "chained":
+		storage.SetDefaultExecChain(true)
+	case "batch":
+		storage.SetDefaultExecBatch(true)
+	default:
+		storage.SetDefaultExecBatch(false)
+	}
+}
+
+// PipelineComparison runs the refresh and serving legs under every engine.
+func PipelineComparison(cfg PipelineConfig) PipelineResult {
+	if cfg.Seed == 0 {
+		cfg.Seed = 11
+	}
+	prevBatch, prevChain := storage.DefaultExecBatch(), storage.DefaultExecChain()
+	defer func() {
+		storage.SetDefaultExecBatch(prevBatch)
+		storage.SetDefaultExecChain(prevChain)
+	}()
+
+	out := PipelineResult{Cfg: cfg, Identical: true}
+
+	// Refresh leg: pure refresh cycles on the ten-view workload (no readers
+	// competing for CPU), timed and allocation-metered. Each engine maintains
+	// its own runtime over an identical database and update stream, and the
+	// engines take their cycles INTERLEAVED round-robin — a paired design, so
+	// heap growth and GC pacing drift hit all engines alike instead of
+	// whichever engine happens to run later.
+	type leg struct {
+		run  PipelineEngineRun
+		rt   *core.Runtime
+		plan *core.MaintenancePlan
+	}
+	legs := make([]*leg, len(pipelineEngines))
+	for i, eng := range pipelineEngines {
+		setEngine(eng)
+		rt, plan := buildTenViewRuntime(cfg.ScaleFactor, cfg.UpdatePct, cfg.Seed)
+		legs[i] = &leg{run: PipelineEngineRun{Engine: eng, Verified: true}, rt: rt, plan: plan}
+	}
+	var ms0, ms1 runtime.MemStats
+	for c := 0; c < cfg.Cycles; c++ {
+		for _, l := range legs {
+			setEngine(l.run.Engine)
+			tpcd.LogUniformUpdates(l.plan.System.Cat, l.rt.Ex.DB, tpcd.UpdatedRelations(), cfg.UpdatePct, cfg.Seed+int64(300+c))
+			runtime.ReadMemStats(&ms0)
+			t0 := time.Now()
+			l.rt.Refresh()
+			l.run.RefreshPerCycle += time.Since(t0)
+			runtime.ReadMemStats(&ms1)
+			l.run.BytesPerCycle += ms1.TotalAlloc - ms0.TotalAlloc
+		}
+	}
+	var baseline []*storage.Relation
+	for _, l := range legs {
+		setEngine(l.run.Engine)
+		l.run.RefreshPerCycle /= time.Duration(cfg.Cycles)
+		l.run.BytesPerCycle /= uint64(cfg.Cycles)
+		if err := l.rt.Verify(); err != nil {
+			l.run.Verified = false
+		}
+		var views []*storage.Relation
+		for _, v := range l.plan.Views {
+			views = append(views, l.rt.ViewRows(v.View))
+		}
+		if baseline == nil {
+			baseline = views
+		} else {
+			for i, rows := range views {
+				if !rowsIdentical(baseline[i], rows) {
+					out.Identical = false
+				}
+			}
+		}
+	}
+
+	// Serving leg: readers against the refresh writer on the ten-view
+	// workload (the process default engine serves every query).
+	for _, l := range legs {
+		setEngine(l.run.Engine)
+		sr := ConcurrentServe(ServeConfig{
+			ScaleFactor: cfg.ScaleFactor, UpdatePct: cfg.UpdatePct,
+			Readers: cfg.Readers, Cycles: cfg.Cycles,
+			Seed: cfg.Seed, Check: cfg.Check,
+		})
+		for _, q := range sr.PerReaderQPS {
+			l.run.ServeQPS += q
+		}
+		if !sr.Verified || !sr.Consistent {
+			l.run.Verified = false
+		}
+		out.Engines = append(out.Engines, l.run)
+	}
+	return out
+}
+
+// Sound reports every engine run verified (and consistent, with Check).
+func (r PipelineResult) Sound() bool {
+	for _, e := range r.Engines {
+		if !e.Verified {
+			return false
+		}
+	}
+	return r.Identical && len(r.Engines) == len(pipelineEngines)
+}
+
+// byEngine returns the named engine's run.
+func (r PipelineResult) byEngine(name string) PipelineEngineRun {
+	for _, e := range r.Engines {
+		if e.Engine == name {
+			return e
+		}
+	}
+	return PipelineEngineRun{}
+}
+
+// RefreshSpeedup is the chained engine's refresh improvement over the batch
+// baseline (>1 means chained refreshes faster).
+func (r PipelineResult) RefreshSpeedup() float64 {
+	c, b := r.byEngine("chained"), r.byEngine("batch")
+	if c.RefreshPerCycle <= 0 {
+		return 0
+	}
+	return float64(b.RefreshPerCycle) / float64(c.RefreshPerCycle)
+}
+
+// BytesReduction is batch_bytes/chained_bytes per refresh cycle (>1 means
+// the chained engine allocates less).
+func (r PipelineResult) BytesReduction() float64 {
+	c, b := r.byEngine("chained"), r.byEngine("batch")
+	if c.BytesPerCycle == 0 {
+		return 0
+	}
+	return float64(b.BytesPerCycle) / float64(c.BytesPerCycle)
+}
+
+// Format renders the engine comparison.
+func (r PipelineResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t-pipeline — operator-engine comparison (SF %g, %g%% updates, %d cycles, %d readers)\n",
+		r.Cfg.ScaleFactor, r.Cfg.UpdatePct, r.Cfg.Cycles, r.Cfg.Readers)
+	for _, e := range r.Engines {
+		fmt.Fprintf(&b, "  %-8s refresh %8v/cycle  alloc %6.1f MB/cycle  serve %8.1f queries/s\n",
+			e.Engine, e.RefreshPerCycle.Round(time.Millisecond),
+			float64(e.BytesPerCycle)/(1<<20), e.ServeQPS)
+	}
+	fmt.Fprintf(&b, "  chained vs batch: %.2fx refresh, %.2fx fewer bytes\n",
+		r.RefreshSpeedup(), r.BytesReduction())
+	if r.Sound() {
+		b.WriteString("  all engines verified exact; view rows byte-identical across engines\n")
+	} else {
+		b.WriteString("  ENGINE DIVERGENCE OR VERIFICATION FAILURE\n")
+	}
+	return b.String()
+}
+
+// pipelineJSON is the machine-readable summary benchjson.sh emits as
+// BENCH_10.json.
+type pipelineJSON struct {
+	Bench            string  `json:"bench"`
+	ScaleFactor      float64 `json:"scale_factor"`
+	UpdatePct        float64 `json:"update_pct"`
+	Cycles           int     `json:"cycles"`
+	Readers          int     `json:"readers"`
+	Seed             int64   `json:"seed"`
+	ChainedRefreshMS float64 `json:"chained_refresh_ms_per_cycle"`
+	BatchRefreshMS   float64 `json:"batch_refresh_ms_per_cycle"`
+	RowRefreshMS     float64 `json:"row_refresh_ms_per_cycle"`
+	RefreshSpeedup   float64 `json:"chained_vs_batch_refresh"`
+	ChainedMB        float64 `json:"chained_mb_per_cycle"`
+	BatchMB          float64 `json:"batch_mb_per_cycle"`
+	BytesReduction   float64 `json:"chained_vs_batch_bytes"`
+	ChainedQPS       float64 `json:"chained_qps"`
+	BatchQPS         float64 `json:"batch_qps"`
+	RowQPS           float64 `json:"row_qps"`
+	Sound            bool    `json:"verified_and_identical"`
+}
+
+// JSON renders the comparison as the BENCH_10 summary object.
+func (r PipelineResult) JSON() ([]byte, error) {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	mb := func(n uint64) float64 { return float64(n) / (1 << 20) }
+	c, bt, rw := r.byEngine("chained"), r.byEngine("batch"), r.byEngine("row")
+	return json.MarshalIndent(pipelineJSON{
+		Bench:            "columnar-pipelines",
+		ScaleFactor:      r.Cfg.ScaleFactor,
+		UpdatePct:        r.Cfg.UpdatePct,
+		Cycles:           r.Cfg.Cycles,
+		Readers:          r.Cfg.Readers,
+		Seed:             r.Cfg.Seed,
+		ChainedRefreshMS: ms(c.RefreshPerCycle),
+		BatchRefreshMS:   ms(bt.RefreshPerCycle),
+		RowRefreshMS:     ms(rw.RefreshPerCycle),
+		RefreshSpeedup:   r.RefreshSpeedup(),
+		ChainedMB:        mb(c.BytesPerCycle),
+		BatchMB:          mb(bt.BytesPerCycle),
+		BytesReduction:   r.BytesReduction(),
+		ChainedQPS:       c.ServeQPS,
+		BatchQPS:         bt.ServeQPS,
+		RowQPS:           rw.ServeQPS,
+		Sound:            r.Sound(),
+	}, "", "  ")
+}

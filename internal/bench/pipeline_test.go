@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestPipelineComparison smoke-runs the engine comparison at a tiny scale
+// with the consistency check on: every engine must verify, serve
+// consistently, and maintain byte-identical view rows — and the run must
+// leave the process-default engine exactly as it found it.
+func TestPipelineComparison(t *testing.T) {
+	prevBatch, prevChain := storage.DefaultExecBatch(), storage.DefaultExecChain()
+	r := PipelineComparison(PipelineConfig{
+		ScaleFactor: 0.001, UpdatePct: 4,
+		Cycles: 2, Readers: 2, Seed: 7, Check: true,
+	})
+	if storage.DefaultExecBatch() != prevBatch || storage.DefaultExecChain() != prevChain {
+		t.Fatalf("engine defaults not restored: batch %v chain %v, want %v %v",
+			storage.DefaultExecBatch(), storage.DefaultExecChain(), prevBatch, prevChain)
+	}
+	if len(r.Engines) != 3 {
+		t.Fatalf("ran %d engines, want 3", len(r.Engines))
+	}
+	if !r.Sound() {
+		t.Fatalf("comparison not sound:\n%s", r.Format())
+	}
+	for _, e := range r.Engines {
+		if e.RefreshPerCycle <= 0 || e.BytesPerCycle == 0 || e.ServeQPS <= 0 {
+			t.Fatalf("engine %s recorded empty measurements: %+v", e.Engine, e)
+		}
+	}
+
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	for _, key := range []string{
+		"chained_refresh_ms_per_cycle", "batch_refresh_ms_per_cycle",
+		"row_refresh_ms_per_cycle", "chained_vs_batch_refresh",
+		"chained_mb_per_cycle", "batch_mb_per_cycle", "chained_vs_batch_bytes",
+		"chained_qps", "batch_qps", "row_qps", "verified_and_identical",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("summary missing key %q", key)
+		}
+	}
+	if m["verified_and_identical"] != true {
+		t.Errorf("verified_and_identical = %v, want true", m["verified_and_identical"])
+	}
+}

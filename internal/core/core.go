@@ -449,7 +449,7 @@ func (r *Runtime) SetWorkers(n int) { r.Mt.Workers = n }
 // adaptation swaps preserve it. Call before refreshing or serving
 // concurrently.
 func (r *Runtime) SetPartitions(n int) {
-	par := storage.Par{Batch: r.Ex.Par.Batch} // engine choice survives repartitioning
+	par := storage.Par{Batch: r.Ex.Par.Batch, Chain: r.Ex.Par.Chain} // engine choice survives repartitioning
 	if n > 1 {
 		par.Partitions, par.Workers = n, n
 	}
@@ -466,6 +466,21 @@ func (r *Runtime) SetPartitions(n int) {
 func (r *Runtime) SetExecBatch(on bool) {
 	par := r.Ex.Par
 	par.Batch = on
+	par.Chain = false
+	r.setPar(par)
+}
+
+// SetExecChain selects the chained columnar pipeline engine: operators
+// exchange columnar batches (exec.Batch) and a pipeline gathers to rows only
+// at its sink. Chain implies Batch (the chained kernels share the dense
+// vectorized primitives). Results stay byte-identical to both other engines;
+// the setting is carried exactly like SetExecBatch's.
+func (r *Runtime) SetExecChain(on bool) {
+	par := r.Ex.Par
+	par.Chain = on
+	if on {
+		par.Batch = true
+	}
 	r.setPar(par)
 }
 

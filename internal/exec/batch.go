@@ -44,11 +44,17 @@ import (
 // morsel-parallel over word-aligned row ranges, so no two workers touch a
 // bitmap word (the scratch bitmap is word-disjoint between workers too).
 func batchSelBitmap(in *storage.Relation, pred algebra.Pred, par storage.Par) *Bitmap {
+	bp := pred.Bind(in.Schema())
+	return selBitmapCmps(in, bp.Cmps(), bp.Clauses(), par)
+}
+
+// selBitmapCmps is batchSelBitmap over pre-compiled conjuncts/clauses whose
+// indexes refer to the relation's own layout — the chained pipeline remaps a
+// batch-schema compile through its projection and evaluates here, sharing
+// every dense kernel.
+func selBitmapCmps(in *storage.Relation, cmps []algebra.BoundCmp, clauses [][]algebra.BoundCmp, par storage.Par) *Bitmap {
 	n := in.Len()
 	bm := NewBitmap(n)
-	bp := pred.Bind(in.Schema())
-	cmps := bp.Cmps()
-	clauses := bp.Clauses()
 	if len(cmps) == 0 && len(clauses) == 0 {
 		bm.SetAll()
 		return bm
@@ -110,6 +116,10 @@ func wordAlignedRanges(n, parts int) [][2]int {
 // typed loops when both sides resolve to one payload class, a row-at-a-time
 // fallback (same Value.Compare semantics) otherwise.
 func applyCmpRange(bm *Bitmap, first bool, c algebra.BoundCmp, cv *storage.ColView, rows []algebra.Tuple, lo, hi int) {
+	if c.LArith != nil || c.RArith != nil {
+		applyArithCmpRange(bm, first, c, cv, rows, lo, hi)
+		return
+	}
 	op := c.Op
 	// Normalize literal-vs-column to column-vs-literal by swapping the
 	// comparison direction.
@@ -236,6 +246,104 @@ func applyTest(bm *Bitmap, first bool, lo, hi int, test func(i int) bool) {
 		return
 	}
 	bm.FilterRange(lo, hi, test)
+}
+
+// applyArithCmpRange applies a conjunct with at least one arithmetic side
+// over [lo, hi): each arithmetic side evaluates into a dense float64 lane
+// (typed vectors feed the lane with no tuple loads — the columnar compile of
+// arithmetic predicates), and the comparison reproduces the row engine's
+// Value.Compare. An arithmetic result is a Float, so float-vs-float pairs run
+// the dense NaN-class compare and mixed pairs go through Value.Compare with
+// the exact row value (kind preserved).
+func applyArithCmpRange(bm *Bitmap, first bool, c algebra.BoundCmp, cv *storage.ColView, rows []algebra.Tuple, lo, hi int) {
+	op := c.Op
+	if c.LArith == nil {
+		// Normalize arithmetic to the left, swapping the comparison
+		// direction (Value.Compare is antisymmetric).
+		c.LArith, c.RArith = c.RArith, nil
+		c.LIdx, c.RIdx = c.RIdx, c.LIdx
+		c.LVal, c.RVal = c.RVal, c.LVal
+		op = swapOp(op)
+	}
+	xs := make([]float64, hi-lo)
+	evalArithLane(c.LArith, cv, rows, lo, hi, xs)
+	switch {
+	case c.RArith != nil:
+		ys := make([]float64, hi-lo)
+		evalArithLane(c.RArith, cv, rows, lo, hi, ys)
+		applyTest(bm, first, lo, hi, func(i int) bool { return opOK(op, cmpFloat(xs[i-lo], ys[i-lo])) })
+	case c.RIdx < 0:
+		lit := c.RVal
+		if litRepOf(lit) == storage.RepFloat {
+			applyTest(bm, first, lo, hi, func(i int) bool { return opOK(op, cmpFloat(xs[i-lo], lit.F)) })
+			return
+		}
+		applyTest(bm, first, lo, hi, func(i int) bool { return opOK(op, algebra.NewFloat(xs[i-lo]).Compare(lit)) })
+	default:
+		col := c.RIdx
+		if v := cv.Col(col); v.Rep == storage.RepFloat {
+			ys := v.F
+			applyTest(bm, first, lo, hi, func(i int) bool { return opOK(op, cmpFloat(xs[i-lo], ys[i])) })
+			return
+		}
+		applyTest(bm, first, lo, hi, func(i int) bool { return opOK(op, algebra.NewFloat(xs[i-lo]).Compare(rows[i][col])) })
+	}
+}
+
+// evalArithLane evaluates a compiled arithmetic tree into out (out[i-lo] is
+// the value for row i): column leaves stream from typed vectors where the
+// column holds one payload class, literal leaves broadcast, and interior
+// nodes combine lanes element-wise. Semantics are BoundArith.EvalRow's
+// (AsFloat coercion, IEEE division) by construction.
+func evalArithLane(a *algebra.BoundArith, cv *storage.ColView, rows []algebra.Tuple, lo, hi int, out []float64) {
+	if a.Leaf() {
+		if a.Idx < 0 {
+			c := a.Val.AsFloat()
+			for i := range out {
+				out[i] = c
+			}
+			return
+		}
+		switch v := cv.Col(a.Idx); v.Rep {
+		case storage.RepInt:
+			xs := v.I
+			for i := lo; i < hi; i++ {
+				out[i-lo] = float64(xs[i])
+			}
+		case storage.RepFloat:
+			copy(out, v.F[lo:hi])
+		case storage.RepStr:
+			for i := range out {
+				out[i] = 0 // AsFloat: strings coerce to 0
+			}
+		default:
+			for i := lo; i < hi; i++ {
+				out[i-lo] = rows[i][a.Idx].AsFloat()
+			}
+		}
+		return
+	}
+	evalArithLane(a.L, cv, rows, lo, hi, out)
+	tmp := make([]float64, hi-lo)
+	evalArithLane(a.R, cv, rows, lo, hi, tmp)
+	switch a.Op {
+	case algebra.Add:
+		for i := range out {
+			out[i] += tmp[i]
+		}
+	case algebra.Sub:
+		for i := range out {
+			out[i] -= tmp[i]
+		}
+	case algebra.Mul:
+		for i := range out {
+			out[i] *= tmp[i]
+		}
+	case algebra.Div:
+		for i := range out {
+			out[i] /= tmp[i]
+		}
+	}
 }
 
 // litRepOf classifies a literal the way storage classifies column payloads.
@@ -553,6 +661,57 @@ type twoCmp struct {
 	lBuild, rBuild bool
 	li, ri         int // tuple index, -1 for literal
 	lv, rv         algebra.Value
+	la, ra         *twoArith
+}
+
+// twoArith is a compiled arithmetic tree whose column leaves are already
+// resolved to a (side, index) pair, so residual arithmetic never touches a
+// concatenated row either.
+type twoArith struct {
+	op    algebra.ArithOp
+	l, r  *twoArith
+	build bool
+	idx   int // -1 for a literal leaf
+	val   algebra.Value
+}
+
+// eval evaluates the side-resolved arithmetic tree over a tuple pair.
+func (a *twoArith) eval(bt, pt algebra.Tuple) float64 {
+	if a.l == nil && a.r == nil {
+		if a.idx < 0 {
+			return a.val.AsFloat()
+		}
+		if a.build {
+			return bt[a.idx].AsFloat()
+		}
+		return pt[a.idx].AsFloat()
+	}
+	lf, rf := a.l.eval(bt, pt), a.r.eval(bt, pt)
+	switch a.op {
+	case algebra.Add:
+		return lf + rf
+	case algebra.Sub:
+		return lf - rf
+	case algebra.Mul:
+		return lf * rf
+	}
+	return lf / rf
+}
+
+// compileTwoArith resolves every column leaf of a compiled arithmetic tree
+// through the join's side function.
+func compileTwoArith(a *algebra.BoundArith, side func(int) (bool, int)) *twoArith {
+	if a == nil {
+		return nil
+	}
+	if a.Leaf() {
+		if a.Idx < 0 {
+			return &twoArith{idx: -1, val: a.Val}
+		}
+		b, i := side(a.Idx)
+		return &twoArith{build: b, idx: i}
+	}
+	return &twoArith{op: a.Op, l: compileTwoArith(a.L, side), r: compileTwoArith(a.R, side), idx: -1}
 }
 
 // residualPred is a compiled residual predicate over (build, probe) tuple
@@ -588,6 +747,8 @@ func compileResidual(residual []algebra.Cmp, clauses [][]algebra.Cmp, outSchema 
 			tc := twoCmp{op: c.Op, lv: c.LVal, rv: c.RVal}
 			tc.lBuild, tc.li = side(c.LIdx)
 			tc.rBuild, tc.ri = side(c.RIdx)
+			tc.la = compileTwoArith(c.LArith, side)
+			tc.ra = compileTwoArith(c.RArith, side)
 			out[i] = tc
 		}
 		return out
@@ -602,14 +763,18 @@ func compileResidual(residual []algebra.Cmp, clauses [][]algebra.Cmp, outSchema 
 // eval evaluates one two-sided comparison.
 func (c twoCmp) eval(bt, pt algebra.Tuple) bool {
 	l, r := c.lv, c.rv
-	if c.li >= 0 {
+	if c.la != nil {
+		l = algebra.NewFloat(c.la.eval(bt, pt))
+	} else if c.li >= 0 {
 		if c.lBuild {
 			l = bt[c.li]
 		} else {
 			l = pt[c.li]
 		}
 	}
-	if c.ri >= 0 {
+	if c.ra != nil {
+		r = algebra.NewFloat(c.ra.eval(bt, pt))
+	} else if c.ri >= 0 {
 		if c.rBuild {
 			r = bt[c.ri]
 		} else {

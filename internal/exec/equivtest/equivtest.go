@@ -27,14 +27,18 @@ type Mode struct {
 func Oracle() Mode { return Mode{Name: "row", Par: storage.Par{}} }
 
 // Modes returns every non-oracle configuration that must reproduce the
-// oracle byte-for-byte: the partitioned row engine and the batch engine at
-// one, four and seven partitions.
+// oracle byte-for-byte: the partitioned row engine, the batch engine, and
+// the chained columnar pipeline engine, each at one, four and seven
+// partitions.
 func Modes() []Mode {
 	return []Mode{
 		{Name: "row-p4", Par: storage.Par{Partitions: 4, Workers: 4}},
 		{Name: "batch", Par: storage.Par{Batch: true}},
 		{Name: "batch-p4", Par: storage.Par{Partitions: 4, Workers: 4, Batch: true}},
 		{Name: "batch-p7", Par: storage.Par{Partitions: 7, Workers: 7, Batch: true}},
+		{Name: "chained", Par: storage.Par{Batch: true, Chain: true}},
+		{Name: "chained-p4", Par: storage.Par{Partitions: 4, Workers: 4, Batch: true, Chain: true}},
+		{Name: "chained-p7", Par: storage.Par{Partitions: 7, Workers: 7, Batch: true, Chain: true}},
 	}
 }
 

@@ -1,0 +1,98 @@
+package equivtest
+
+// BenchmarkPipelineAllocs prices what the chained pipeline exists to remove:
+// per-operator row materialization. A three-operator chain (select → join →
+// aggregate) runs under each engine with allocations reported; the companion
+// test asserts the chained engine actually allocates less than the batch
+// engine — the batch engine gathers a full []Tuple relation at EVERY operator
+// boundary, the chained engine only at the sink.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/dag"
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// pipelineBenchRoot builds a fixed select → join → aggregate chain over two
+// deterministic tables, returning the database and DAG root to evaluate.
+func pipelineBenchRoot() (*storage.Database, *dag.Equiv) {
+	rng := rand.New(rand.NewSource(77))
+	cat, db := catalog.New(), storage.NewDatabase()
+	t1 := RandTable(rng, cat, db, "r1", 4, 4000, false)
+	t2 := RandTable(rng, cat, db, "r2", 3, 2000, false)
+	join := algebra.NewJoin(
+		algebra.Pred{Conjuncts: []algebra.Cmp{algebra.Eq(t1.QCol(0), t2.QCol(0))}},
+		algebra.NewSelect(
+			algebra.Pred{Conjuncts: []algebra.Cmp{
+				algebra.CmpConst(t1.QCol(1), algebra.NE, RandValue(rng, t1.Cols[1].Type, false))}},
+			algebra.NewScan(cat, "r1")),
+		algebra.NewScan(cat, "r2"))
+	node := algebra.NewAggregate(
+		[]algebra.ColRef{algebra.C(t1.QCol(2))},
+		[]algebra.AggSpec{
+			{Func: algebra.Count},
+			{Func: algebra.Sum, Col: algebra.C(t2.QCol(1))},
+		}, join)
+	d := dag.New(cat)
+	return db, d.AddQuery("q", node)
+}
+
+// runPipeline evaluates the chain once under par.
+func runPipeline(db *storage.Database, root *dag.Equiv, par storage.Par) *storage.Relation {
+	ex := exec.NewExecutor(db)
+	ex.Par = par
+	return ex.EvalNode(root)
+}
+
+// BenchmarkPipelineAllocs: the three-operator chain per engine. Compare
+// bytes/op and allocs/op across the engine= variants.
+func BenchmarkPipelineAllocs(b *testing.B) {
+	db, root := pipelineBenchRoot()
+	for _, m := range append([]Mode{Oracle()}, Modes()...) {
+		if m.Par.Enabled() {
+			continue // isolate engine cost from partition parallelism
+		}
+		b.Run("engine="+m.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if out := runPipeline(db, root, m.Par); out.Len() == 0 {
+					b.Fatal("pipeline produced no rows; benchmark is vacuous")
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineAllocsImprove holds the tentpole's allocation claim: on the
+// three-operator chain the chained engine must allocate strictly less than
+// the batch engine, in bytes/op and in allocs/op.
+func TestPipelineAllocsImprove(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement loop")
+	}
+	db, root := pipelineBenchRoot()
+	measure := func(par storage.Par) (bytesPerOp, allocsPerOp float64) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runPipeline(db, root, par)
+			}
+		})
+		return float64(r.AllocedBytesPerOp()), float64(r.AllocsPerOp())
+	}
+	chainBytes, chainAllocs := measure(storage.Par{Batch: true, Chain: true})
+	batchBytes, batchAllocs := measure(storage.Par{Batch: true})
+	t.Logf("chained: %.0f B/op %.0f allocs/op; batch: %.0f B/op %.0f allocs/op",
+		chainBytes, chainAllocs, batchBytes, batchAllocs)
+	if chainBytes >= batchBytes {
+		t.Errorf("chained engine bytes/op %.0f, want < batch %.0f", chainBytes, batchBytes)
+	}
+	if chainAllocs >= batchAllocs {
+		t.Errorf("chained engine allocs/op %.0f, want < batch %.0f", chainAllocs, batchAllocs)
+	}
+}

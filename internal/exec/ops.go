@@ -384,6 +384,93 @@ func (at *AggTable) absorbOne(h uint64, t algebra.Tuple, sign int64) (minMaxDirt
 	return minMaxDirty
 }
 
+// absorbColsOne is absorbOne over a column-major input: keys[k][i] is the
+// k-th group-by column and aggs[s][i] the s-th spec's source column (nil for
+// COUNT) at logical row i. The chained pipeline folds batches into the state
+// through it without ever building a row tuple; every state transition
+// matches absorbOne's exactly.
+func (at *AggTable) absorbColsOne(h uint64, i int, keys, aggs [][]algebra.Value, sign int64) (minMaxDirty bool) {
+	chain := at.groups[h]
+	var g *groupState
+	gi := -1
+	for ci, cand := range chain {
+		if cand.keyMatchesCols(keys, i) {
+			g, gi = cand, ci
+			break
+		}
+	}
+	if g == nil {
+		g = &groupState{accs: make([]aggAcc, len(at.specs))}
+		g.keyVals = make(algebra.Tuple, len(keys))
+		for k := range keys {
+			g.keyVals[k] = keys[k][i]
+		}
+		for s := range g.accs {
+			g.accs[s].min = math.Inf(1)
+			g.accs[s].max = math.Inf(-1)
+		}
+		at.groups[h] = append(chain, g)
+		gi = len(chain)
+		at.n++
+	}
+	g.rows += sign
+	for s, spec := range at.specs {
+		acc := &g.accs[s]
+		var v float64
+		if aggs[s] != nil {
+			v = aggs[s][i].AsFloat()
+		}
+		switch spec.Func {
+		case algebra.Count:
+			acc.cnt += sign
+		case algebra.Sum, algebra.Avg:
+			acc.sum += float64(sign) * v
+			acc.cnt += sign
+		case algebra.Min:
+			if sign > 0 {
+				if v < acc.min {
+					acc.min = v
+				}
+			} else if v <= acc.min {
+				minMaxDirty = true
+			}
+			acc.cnt += sign
+		case algebra.Max:
+			if sign > 0 {
+				if v > acc.max {
+					acc.max = v
+				}
+			} else if v >= acc.max {
+				minMaxDirty = true
+			}
+			acc.cnt += sign
+		}
+	}
+	if g.rows <= 0 {
+		chain := at.groups[h]
+		chain[gi] = chain[len(chain)-1]
+		chain = chain[:len(chain)-1]
+		if len(chain) == 0 {
+			delete(at.groups, h)
+		} else {
+			at.groups[h] = chain
+		}
+		at.n--
+	}
+	return minMaxDirty
+}
+
+// keyMatchesCols reports whether the group's key equals the group-by columns
+// at logical row i of a column-major input.
+func (g *groupState) keyMatchesCols(keys [][]algebra.Value, i int) bool {
+	for k := range keys {
+		if !g.keyVals[k].Equal(keys[k][i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // merge adopts every group of another table built over the same operation.
 // The caller guarantees group-key disjointness (hash-partitioned inputs:
 // partitions own disjoint hash residues), so chains transfer without key

@@ -49,11 +49,69 @@ func NewExecutor(db *storage.Database) *Executor {
 // cardinality is reported against the plan's estimate — including Reuse
 // reads, whose stored length is the node's true full cardinality.
 func (ex *Executor) Run(p *volcano.PlanNode) *storage.Relation {
+	if ex.Par.Chain {
+		return ex.RunC(p).Materialize(p.E.Schema, ex.Par)
+	}
 	out := ex.runNode(p)
 	if ex.Obs != nil {
 		ex.Obs(p.E, p.Rows, float64(out.Len()))
 	}
 	return out
+}
+
+// RunC executes a plan as a chained columnar pipeline: every operator accepts
+// and emits a Batch, and rows are gathered only when the caller materializes
+// the returned batch. Per-node Obs reporting matches Run's — a batch knows
+// its logical cardinality without gathering.
+func (ex *Executor) RunC(p *volcano.PlanNode) *Batch {
+	out := ex.runNodeC(p)
+	if ex.Obs != nil {
+		ex.Obs(p.E, p.Rows, float64(out.Len()))
+	}
+	return out
+}
+
+// runNodeC mirrors runNode arm-for-arm over batches.
+func (ex *Executor) runNodeC(p *volcano.PlanNode) *Batch {
+	switch p.Access {
+	case volcano.Reuse:
+		r := ex.Mat[p.E.ID]
+		if r == nil {
+			panic(fmt.Sprintf("exec: plan reuses e%d which is not materialized", p.E.ID))
+		}
+		return batchOf(r)
+	case volcano.Probe:
+		panic("exec: probe node executed directly (must be handled by its join)")
+	}
+	op := p.Op
+	par := ex.Par
+	switch op.Kind {
+	case dag.OpScan:
+		return batchOf(ex.DB.MustRelation(op.Table)).project(p.E.Schema, par)
+	case dag.OpSelect:
+		return chainSelect(ex.RunC(p.Children[0]), op.Pred, p.E.Schema, par)
+	case dag.OpProject:
+		return ex.RunC(p.Children[0]).project(p.E.Schema, par)
+	case dag.OpJoin:
+		l := ex.RunC(p.Children[0])
+		var r *Batch
+		if p.Algo == volcano.AlgoINL {
+			r = batchOf(ex.stored(p.Children[1].E))
+		} else {
+			r = ex.RunC(p.Children[1])
+		}
+		return chainJoin(l, r, op.Pred, BuildLeftFromPlan(p), p.E.Schema, par)
+	case dag.OpAggregate:
+		return chainAgg(ex.RunC(p.Children[0]), op, p.E.Schema, par, ex.sizeHint(p.E))
+	case dag.OpUnion:
+		return chainConcat([]*Batch{ex.RunC(p.Children[0]), ex.RunC(p.Children[1])}, p.E.Schema, par)
+	case dag.OpMinus:
+		return chainMinus(ex.RunC(p.Children[0]), ex.RunC(p.Children[1]), p.E.Schema, par)
+	case dag.OpDedup:
+		return chainDedup(ex.RunC(p.Children[0]), p.E.Schema, par)
+	default:
+		panic("exec: unexpected op kind " + op.Kind.String())
+	}
 }
 
 func (ex *Executor) runNode(p *volcano.PlanNode) *storage.Relation {
@@ -145,6 +203,12 @@ func (ex *Executor) stored(e *dag.Equiv) *storage.Relation {
 func (ex *Executor) Materialize(p *volcano.PlanNode) *storage.Relation {
 	e := p.E
 	if p.Access == volcano.Compute && p.Op.Kind == dag.OpAggregate {
+		if ex.Par.Chain {
+			at := chainBuildAgg(ex.RunC(p.Children[0]), p.Op.GroupBy, p.Op.Aggs, e.Schema, ex.Par, ex.sizeHint(e))
+			ex.Agg[e.ID] = at
+			ex.Mat[e.ID] = projectToP(at.Rows(), e.Schema, ex.Par)
+			return ex.Mat[e.ID]
+		}
 		in := ex.Run(p.Children[0])
 		at := execBuildAgg(in, p.Op.GroupBy, p.Op.Aggs, e.Schema, ex.Par, ex.sizeHint(e))
 		ex.Agg[e.ID] = at

@@ -220,6 +220,18 @@ func appendSlice(b []byte, s Slice) []byte {
 		b = appendInt(b, int64(s.Idx[i]))
 		b = wal.AppendTuple(b, t)
 	}
+	b = appendUvarint(b, uint64(len(s.HashCols)))
+	for k, cols := range s.HashCols {
+		b = appendInts(b, cols)
+		var h []uint64
+		if k < len(s.Hashes) {
+			h = s.Hashes[k]
+		}
+		b = appendUvarint(b, uint64(len(h)))
+		for _, x := range h {
+			b = appendUvarint(b, x)
+		}
+	}
 	return b
 }
 
@@ -243,6 +255,30 @@ func decodeSlice(b []byte) (Slice, []byte, error) {
 		}
 		s.Idx = append(s.Idx, int32(idx))
 		s.Rows = append(s.Rows, t)
+	}
+	nh, b, err := decodeUvarint(b)
+	if err != nil {
+		return Slice{}, nil, fmt.Errorf("slice hash-set count: %w", err)
+	}
+	for k := uint64(0); k < nh; k++ {
+		var cols []int
+		if cols, b, err = decodeInts(b); err != nil {
+			return Slice{}, nil, fmt.Errorf("slice hash set %d cols: %w", k, err)
+		}
+		var hn uint64
+		if hn, b, err = decodeUvarint(b); err != nil {
+			return Slice{}, nil, fmt.Errorf("slice hash set %d length: %w", k, err)
+		}
+		h := make([]uint64, 0, capBy(hn, b))
+		for i := uint64(0); i < hn; i++ {
+			var x uint64
+			if x, b, err = decodeUvarint(b); err != nil {
+				return Slice{}, nil, fmt.Errorf("slice hash set %d elem %d: %w", k, i, err)
+			}
+			h = append(h, x)
+		}
+		s.HashCols = append(s.HashCols, cols)
+		s.Hashes = append(s.Hashes, h)
 	}
 	return s, b, nil
 }

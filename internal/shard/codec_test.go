@@ -63,6 +63,18 @@ func randSlice(rng *rand.Rand, n, width int) Slice {
 		next += int32(1 + rng.Intn(4))
 		s.Idx[i] = next
 	}
+	for k, nk := 0, rng.Intn(3); k < nk; k++ {
+		cols := make([]int, 1+rng.Intn(2))
+		for j := range cols {
+			cols[j] = rng.Intn(width)
+		}
+		h := make([]uint64, n)
+		for i := range h {
+			h[i] = rng.Uint64()
+		}
+		s.HashCols = append(s.HashCols, cols)
+		s.Hashes = append(s.Hashes, h)
+	}
 	return s
 }
 

@@ -97,15 +97,29 @@ func (a Assignment) Ranges() [][2]int {
 // Slice is one shard's image of one relation: the owned rows in ascending
 // global row index, plus those indexes (the merge key for gathers and the
 // carrier of the partition-order contract).
+//
+// HashCols/Hashes optionally ship the coordinator's already-built key-hash
+// columns alongside the rows, gathered down to the slice: Hashes[k][i] ==
+// Rows[i].HashCols(HashCols[k]). Workers seed their per-state hash cache
+// from them instead of paying a build pass per (leaf, key set) on first
+// probe. The fields are advisory — a worker validates lengths before
+// adopting and falls back to building, so malformed wire input degrades to
+// the old behavior rather than corrupting joins.
 type Slice struct {
 	Rows []algebra.Tuple
 	Idx  []int32
+
+	HashCols [][]int
+	Hashes   [][]uint64
 }
 
 // SliceOf extracts the slice of rel owned by the partition range [lo, hi)
 // under the assignment's partitioning. The per-partition index lists are
 // each ascending; their union is sorted once so the slice is ascending in
-// global row index.
+// global row index. Every key-hash column already cached on the relation's
+// ColView (warmed by the coordinator's own joins and aggregations over this
+// version) is gathered through the same indexes and shipped, so workers
+// never rebuild hashes the coordinator has already paid for.
 func SliceOf(rel *storage.Relation, a Assignment, lo, hi int) Slice {
 	pv := rel.PartView(a.Par())
 	total := 0
@@ -121,6 +135,18 @@ func SliceOf(rel *storage.Relation, a Assignment, lo, hi int) Slice {
 	out := Slice{Rows: make([]algebra.Tuple, len(idx)), Idx: idx}
 	for i, j := range idx {
 		out.Rows[i] = rows[j]
+	}
+	cols, hashes := rel.ColView().CachedKeys()
+	for k := range cols {
+		if len(hashes[k]) != len(rows) {
+			continue
+		}
+		h := make([]uint64, len(idx))
+		for i, j := range idx {
+			h[i] = hashes[k][j]
+		}
+		out.HashCols = append(out.HashCols, cols[k])
+		out.Hashes = append(out.Hashes, h)
 	}
 	return out
 }

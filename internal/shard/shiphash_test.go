@@ -1,0 +1,161 @@
+package shard
+
+// Shipped-hash tests: the coordinator's already-built key-hash columns ride
+// inside every Slice (SliceOf gathers them from the relation's ColView
+// cache), and workers seed their per-state hash cache from them — so on the
+// hot install path a worker performs ZERO hash building, not merely one
+// amortized pass per key set.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/storage"
+)
+
+// TestSliceOfShipsCachedHashes: after the coordinator warms a relation's
+// ColView hash cache (as its own joins and aggregations do), SliceOf gathers
+// the cached column down to each shard's slice, elementwise equal to what the
+// worker would have built.
+func TestSliceOfShipsCachedHashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rel := randRelation(rng, 200)
+	cols := []int{0}
+	rel.ColView().KeyHashes(cols, storage.Par{})
+
+	a := Assignment{Partitions: 8, Shards: 3}.Norm()
+	total := 0
+	for _, rg := range a.Ranges() {
+		s := SliceOf(rel, a, rg[0], rg[1])
+		total += len(s.Rows)
+		if len(s.HashCols) == 0 {
+			t.Fatalf("range %v: no hash columns shipped despite warm coordinator cache", rg)
+		}
+		found := false
+		for k, hc := range s.HashCols {
+			if !sameCols(hc, cols) {
+				continue
+			}
+			found = true
+			if len(s.Hashes[k]) != len(s.Rows) {
+				t.Fatalf("range %v: shipped hash column has %d entries for %d rows", rg, len(s.Hashes[k]), len(s.Rows))
+			}
+			for i, row := range s.Rows {
+				if want := row.HashCols(cols); s.Hashes[k][i] != want {
+					t.Fatalf("range %v row %d: shipped hash %#x, want %#x", rg, i, s.Hashes[k][i], want)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("range %v: key set %v not among shipped hash columns %v", rg, cols, s.HashCols)
+		}
+	}
+	if total != rel.Len() {
+		t.Fatalf("slices cover %d rows, relation has %d", total, rel.Len())
+	}
+}
+
+// shippedSlice builds the hashWorker relation image with the key-hash column
+// for cols pre-attached, as a coordinator with a warm cache would ship it.
+func shippedSlice(n int, cols []int) Slice {
+	s := Slice{}
+	for i := 0; i < n; i++ {
+		s.Rows = append(s.Rows, algebra.Tuple{algebra.NewInt(int64(i % 7)), algebra.NewInt(int64(i))})
+		s.Idx = append(s.Idx, int32(i))
+	}
+	h := make([]uint64, n)
+	for i, row := range s.Rows {
+		h[i] = row.HashCols(cols)
+	}
+	s.HashCols = append(s.HashCols, cols)
+	s.Hashes = append(s.Hashes, h)
+	return s
+}
+
+// TestScatterAdoptsShippedHashes: staging a slice that carries the probe key's
+// hash column means the worker never hashes a leaf row — cacheBuilt stays 0
+// across cold and warm scatters (the install-path contract), probeHashed stays
+// 0, and the answers match a worker that had to build.
+func TestScatterAdoptsShippedHashes(t *testing.T) {
+	const n = 200
+	a := Assignment{Partitions: 4, Shards: 1}.Norm()
+	w, err := NewWorker(0, a, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// joinReq filters then projects {1,0}, so its probe column 1 maps back to
+	// leaf column 0 — the shipped set.
+	if err := w.Stage(&StageReq{Epoch: 1, From: -1, Base: true,
+		Rels: map[string]Slice{"t": shippedSlice(n, []int{0})}, Mats: map[int32]Slice{}}); err != nil {
+		t.Fatal(err)
+	}
+
+	control, _ := hashWorker(t, 1, n)
+	want, err := control.Scatter(joinReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5; i++ {
+		got, err := w.Scatter(joinReq(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Rows) != len(want.Rows) || len(got.Rows) == 0 {
+			t.Fatalf("scatter %d: %d rows, want %d (nonzero)", i, len(got.Rows), len(want.Rows))
+		}
+		for r, tu := range want.Rows {
+			if !tu.Equal(got.Rows[r]) || want.Ord[r] != got.Ord[r] {
+				t.Fatalf("scatter %d row %d: %v/%d, want %v/%d",
+					i, r, got.Rows[r], got.Ord[r], tu, want.Ord[r])
+			}
+		}
+	}
+	probed, built := w.HashStats()
+	if built != 0 {
+		t.Fatalf("worker built hashes over %d rows despite shipped column; want 0", built)
+	}
+	if probed != 0 {
+		t.Fatalf("worker hashed %d probe rows per-row; want 0", probed)
+	}
+}
+
+// TestScatterShippedHashMismatchFallsBack: a shipped column whose length does
+// not match the rows (reachable only from a malformed wire peer) is ignored —
+// the worker builds as before and answers stay correct.
+func TestScatterShippedHashMismatchFallsBack(t *testing.T) {
+	const n = 100
+	a := Assignment{Partitions: 4, Shards: 1}.Norm()
+	w, err := NewWorker(0, a, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := shippedSlice(n, []int{0})
+	s.Hashes[0] = s.Hashes[0][:n-1] // corrupt: one short
+	if err := w.Stage(&StageReq{Epoch: 1, From: -1, Base: true,
+		Rels: map[string]Slice{"t": s}, Mats: map[int32]Slice{}}); err != nil {
+		t.Fatal(err)
+	}
+
+	control, _ := hashWorker(t, 1, n)
+	want, err := control.Scatter(joinReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Scatter(joinReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%d rows, want %d", len(got.Rows), len(want.Rows))
+	}
+	for r, tu := range want.Rows {
+		if !tu.Equal(got.Rows[r]) {
+			t.Fatalf("row %d: %v, want %v", r, got.Rows[r], tu)
+		}
+	}
+	if _, built := w.HashStats(); built != int64(n) {
+		t.Fatalf("fallback built %d, want %d (one full pass)", built, n)
+	}
+}

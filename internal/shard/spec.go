@@ -164,10 +164,11 @@ func lowerNode(p *volcano.PlanNode, env LowerEnv) (leaf LeafRef, stages []Stage,
 		return ref, stages, p.E.Schema, true
 
 	case dag.OpSelect:
-		if op.Pred.HasClauses() {
-			// The wire format carries flat conjunct lists only; vetoing keeps
-			// disjunctions on the (correctness-equivalent) local fallback
-			// rather than silently dropping clauses.
+		if op.Pred.HasClauses() || op.Pred.HasArith() {
+			// The wire format carries flat column/literal conjunct lists only;
+			// vetoing keeps disjunctions and arithmetic predicates on the
+			// (correctness-equivalent) local fallback rather than silently
+			// dropping clauses or compiled arithmetic trees.
 			return LeafRef{}, nil, nil, false
 		}
 		leaf, stages, cur, ok = lowerNode(p.Children[0], env)
@@ -188,7 +189,7 @@ func lowerNode(p *volcano.PlanNode, env LowerEnv) (leaf LeafRef, stages []Stage,
 		return leaf, stages, p.E.Schema, true
 
 	case dag.OpJoin:
-		if op.Pred.HasClauses() {
+		if op.Pred.HasClauses() || op.Pred.HasArith() {
 			return LeafRef{}, nil, nil, false // see OpSelect
 		}
 		lSchema := p.Children[0].E.Schema

@@ -49,9 +49,11 @@ type hashKey struct {
 	cols string
 }
 
-// hashesFor returns the leaf's per-row hashes over cols, building them on
-// first use (one HashCols per leaf row per distinct key-column set per
-// epoch); built reports whether this call paid for the build. Returns nil
+// hashesFor returns the leaf's per-row hashes over cols, adopting a hash
+// column the coordinator shipped inside the slice when one matches, and
+// otherwise building on first use (one HashCols per leaf row per distinct
+// key-column set per epoch); built reports whether this call paid for a
+// build — adopting shipped hashes is free and does not count. Returns nil
 // when any row is too narrow for cols — ragged slices are only reachable
 // from the wire, and the caller then falls back to the width-checked
 // per-row path.
@@ -60,6 +62,19 @@ func (st *state) hashesFor(key hashKey, leaf Slice, cols []int) (hashes []uint64
 	defer st.hmu.Unlock()
 	if h, ok := st.hcache[key]; ok {
 		return h, false
+	}
+	for k, hc := range leaf.HashCols {
+		if k >= len(leaf.Hashes) || len(leaf.Hashes[k]) != len(leaf.Rows) {
+			continue // malformed wire input: lengths must line up
+		}
+		if !sameCols(hc, cols) {
+			continue
+		}
+		if st.hcache == nil {
+			st.hcache = make(map[hashKey][]uint64)
+		}
+		st.hcache[key] = leaf.Hashes[k]
+		return leaf.Hashes[k], false
 	}
 	need := maxIdx(cols)
 	for _, t := range leaf.Rows {
@@ -520,6 +535,19 @@ func (pc *probeCtx) runStage(stg Stage, rows []algebra.Tuple, ord []int32) ([]al
 		return outR, outO, nil
 	}
 	return nil, nil, fmt.Errorf("unknown stage kind %d", stg.Kind)
+}
+
+// sameCols reports whether two key-column sets are elementwise equal.
+func sameCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // mapCols maps pipeline-relative columns back to leaf columns through colMap

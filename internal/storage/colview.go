@@ -184,6 +184,40 @@ func (cv *ColView) KeyHashes(cols []int, par Par) []uint64 {
 	return h
 }
 
+// CachedKeys returns a snapshot of the key-column sets whose hash columns
+// are currently cached on the view, paired with the hash columns themselves.
+// Installed hash columns are immutable, so callers may retain the returned
+// slices; the column-set slices are copied. The shard layer uses this to
+// ship already-built hash columns to workers alongside sliced rows.
+func (cv *ColView) CachedKeys() (cols [][]int, hashes [][]uint64) {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	for _, k := range cv.keys {
+		cols = append(cols, append([]int(nil), k.cols...))
+		hashes = append(hashes, k.h)
+	}
+	return cols, hashes
+}
+
+// InstallKeyHashes installs a precomputed hash column for a key-column set,
+// e.g. one shipped from a coordinator that already paid the build pass. The
+// column must satisfy the KeyHashes contract (element i == rows[i].HashCols
+// (cols)); a wrong-length column is ignored. An existing cache entry for the
+// set wins, so concurrent computes and installs converge on one column.
+func (cv *ColView) InstallKeyHashes(cols []int, h []uint64) {
+	if len(h) != len(cv.rows) {
+		return
+	}
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	for i := range cv.keys {
+		if eqCols(cv.keys[i].cols, cols) {
+			return
+		}
+	}
+	cv.keys = append(cv.keys, keyHashes{cols: append([]int(nil), cols...), h: h})
+}
+
 func eqCols(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
@@ -413,19 +447,44 @@ func (db *Database) ApplyDeletesCOWPar(name string, par Par) *Relation {
 
 // defaultExecBatch is resolved once at startup from MVOPT_EXEC: "row"
 // selects the row-at-a-time engine; anything else (including unset) selects
-// the vectorized batch engine. Executor constructors read it so the whole
-// test suite can be forced onto either engine from the environment.
-var defaultExecBatch = os.Getenv("MVOPT_EXEC") != "row"
+// the vectorized batch engine. "chained" additionally selects the chained
+// columnar pipeline (batches cross operator boundaries, one row gather at
+// the sink). Executor constructors read both so the whole test suite can be
+// forced onto any engine from the environment.
+var (
+	defaultExecBatch = os.Getenv("MVOPT_EXEC") != "row"
+	defaultExecChain = os.Getenv("MVOPT_EXEC") == "chained"
+)
 
 // DefaultExecBatch reports whether new executors default to the vectorized
 // batch engine.
 func DefaultExecBatch() bool { return defaultExecBatch }
 
+// DefaultExecChain reports whether new executors default to the chained
+// columnar pipeline.
+func DefaultExecChain() bool { return defaultExecChain }
+
 // DefaultPar returns the zero parallelism configuration carrying the
 // default engine choice.
-func DefaultPar() Par { return Par{Batch: defaultExecBatch} }
+func DefaultPar() Par { return Par{Batch: defaultExecBatch, Chain: defaultExecChain} }
 
 // SetDefaultExecBatch overrides the process-wide default engine selection
-// (the CLIs' -exec flag routes here). Call before constructing executors or
+// (the CLIs' -exec flag routes here): on selects the plain batch engine, off
+// the row engine — either way the chained pipeline is deselected, so each
+// setter names exactly one engine. Call before constructing executors or
 // runtimes; already-built executors keep the engine they were created with.
-func SetDefaultExecBatch(on bool) { defaultExecBatch = on }
+func SetDefaultExecBatch(on bool) {
+	defaultExecBatch = on
+	defaultExecChain = false
+}
+
+// SetDefaultExecChain selects (or deselects) the chained columnar pipeline
+// as the process-wide default. Chained execution runs on the batch kernels,
+// so enabling it enables the batch engine too; disabling it falls back to
+// plain batch.
+func SetDefaultExecChain(on bool) {
+	defaultExecChain = on
+	if on {
+		defaultExecBatch = true
+	}
+}

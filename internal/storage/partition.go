@@ -47,6 +47,13 @@ type Par struct {
 	// versions even at one partition. Output is byte-identical to the row
 	// engine at any setting; the flag only chooses the kernel.
 	Batch bool
+	// Chain selects the chained columnar pipeline on top of the batch
+	// kernels: operators exchange columnar batches (exec.Batch) instead of
+	// materialized row relations, and a pipeline gathers to []Value rows only
+	// once at its sink. Chain implies Batch (the chained kernels are built on
+	// the same column vectors and hash caches); output is byte-identical to
+	// both other engines at any setting.
+	Chain bool
 }
 
 // Norm resolves defaults: at least one partition, and a concrete worker

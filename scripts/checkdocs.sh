@@ -9,6 +9,8 @@
 #      stripped). SNIPPETS.md is exempt: it quotes exemplar material from
 #      external repositories verbatim, including their internal links.
 #   4. Every examples/* program builds and runs to completion.
+#   5. No compiled test binary (*.test) is tracked — they are build
+#      artifacts and belong in .gitignore, not the tree.
 set -u
 cd "$(dirname "$0")/.."
 fail=0
@@ -42,6 +44,13 @@ done < <(git ls-files '*.md' | grep -v '^SNIPPETS\.md$' | while read -r f; do
         | sed -e 's/^\[[^]]*\](//' -e 's/)$//' \
         | while read -r t; do printf '%s:%s\n' "$f" "$t"; done
 done)
+
+tracked_bins=$(git ls-files '*.test')
+if [ -n "$tracked_bins" ]; then
+    echo "tracked test binaries (delete and gitignore):" >&2
+    echo "$tracked_bins" >&2
+    fail=1
+fi
 
 for ex in examples/*/; do
     ex="${ex%/}"
